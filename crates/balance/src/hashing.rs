@@ -1,0 +1,360 @@
+//! A consistent-hash ring with virtual nodes — the DHT placement substrate.
+//!
+//! This mirrors Cassandra's random partitioner: every partition key is
+//! hashed onto a 64-bit token ring; each physical node owns the arcs ending
+//! at its tokens. Virtual nodes (multiple tokens per physical node) smooth
+//! the arc-length imbalance; key-count imbalance on top of that is exactly
+//! what [`crate::formula`] quantifies.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of a physical node in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Nodes print as letters (A, B, …) like the paper's figures, falling
+        // back to numbers past 26 nodes.
+        if self.0 < 26 {
+            write!(f, "{}", (b'A' + self.0 as u8) as char)
+        } else {
+            write!(f, "N{}", self.0)
+        }
+    }
+}
+
+/// Hashes arbitrary key bytes onto the token ring (FNV-1a with a SplitMix64
+/// finalizer — stable across platforms and runs).
+pub fn hash_key(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix(h)
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring: sorted vnode tokens → owning node.
+///
+/// ```
+/// use kvs_balance::HashRing;
+///
+/// let ring = HashRing::with_nodes(8, 128);
+/// let owner = ring.node_for_key(b"cube-42");
+/// assert_eq!(owner, ring.node_for_key(b"cube-42")); // deterministic
+/// let replicas = ring.replicas_for_key(b"cube-42", 3);
+/// assert_eq!(replicas.len(), 3);
+/// assert_eq!(replicas[0], owner);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// token → node, kept sorted by token (BTreeMap gives us successor
+    /// queries for free).
+    tokens: BTreeMap<u64, NodeId>,
+    nodes: BTreeSet<NodeId>,
+    vnodes_per_node: usize,
+}
+
+impl HashRing {
+    /// Creates an empty ring with `vnodes_per_node` tokens per node.
+    ///
+    /// # Panics
+    /// If `vnodes_per_node` is zero.
+    pub fn new(vnodes_per_node: usize) -> Self {
+        assert!(vnodes_per_node > 0, "need at least one vnode per node");
+        HashRing {
+            tokens: BTreeMap::new(),
+            nodes: BTreeSet::new(),
+            vnodes_per_node,
+        }
+    }
+
+    /// Builds a ring containing nodes `0..n`.
+    pub fn with_nodes(n: u32, vnodes_per_node: usize) -> Self {
+        let mut ring = Self::new(vnodes_per_node);
+        for i in 0..n {
+            ring.add_node(NodeId(i));
+        }
+        ring
+    }
+
+    /// Number of physical nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Adds a node (idempotent), placing its vnode tokens deterministically.
+    pub fn add_node(&mut self, node: NodeId) {
+        if !self.nodes.insert(node) {
+            return;
+        }
+        for v in 0..self.vnodes_per_node {
+            let token = vnode_token(node, v as u64);
+            // Token collisions across vnodes are astronomically unlikely but
+            // handled: probe linearly so no vnode silently disappears.
+            let mut t = token;
+            while self.tokens.contains_key(&t) {
+                t = t.wrapping_add(1);
+            }
+            self.tokens.insert(t, node);
+        }
+    }
+
+    /// Removes a node and all its tokens (idempotent).
+    pub fn remove_node(&mut self, node: NodeId) {
+        if !self.nodes.remove(&node) {
+            return;
+        }
+        self.tokens.retain(|_, n| *n != node);
+    }
+
+    /// The node owning `hash`: the owner of the first token at or after it,
+    /// wrapping around the ring.
+    ///
+    /// # Panics
+    /// If the ring is empty.
+    pub fn node_for_hash(&self, hash: u64) -> NodeId {
+        assert!(!self.tokens.is_empty(), "lookup on an empty ring");
+        self.tokens
+            .range(hash..)
+            .next()
+            .or_else(|| self.tokens.iter().next())
+            .map(|(_, &n)| n)
+            .expect("non-empty ring has a first token")
+    }
+
+    /// The node owning a key (hash + lookup).
+    pub fn node_for_key(&self, key: &[u8]) -> NodeId {
+        self.node_for_hash(hash_key(key))
+    }
+
+    /// The `rf` replica nodes for a key: the owner plus the next distinct
+    /// nodes walking clockwise (Cassandra's SimpleStrategy). Returns fewer
+    /// than `rf` nodes when the cluster is smaller than `rf`.
+    pub fn replicas_for_key(&self, key: &[u8], rf: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(rf.min(self.nodes.len()));
+        if self.tokens.is_empty() || rf == 0 {
+            return out;
+        }
+        let start = hash_key(key);
+        // Walk the ring once: tokens at or after the hash, then wrap.
+        for (_, &node) in self.tokens.range(start..).chain(self.tokens.iter()) {
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == rf.min(self.nodes.len()) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of the token space each node owns (sums to 1).
+    pub fn ownership(&self) -> BTreeMap<NodeId, f64> {
+        let mut out: BTreeMap<NodeId, f64> = self.nodes.iter().map(|&n| (n, 0.0)).collect();
+        if self.tokens.is_empty() {
+            return out;
+        }
+        let entries: Vec<(u64, NodeId)> = self.tokens.iter().map(|(&t, &n)| (t, n)).collect();
+        let total = u64::MAX as f64;
+        for i in 0..entries.len() {
+            let (token, node) = entries[i];
+            let prev = if i == 0 {
+                entries[entries.len() - 1].0
+            } else {
+                entries[i - 1].0
+            };
+            // Arc (prev, token]; wraps for the first entry.
+            let arc = token.wrapping_sub(prev) as f64;
+            *out.get_mut(&node).expect("node present") += arc / total;
+        }
+        out
+    }
+}
+
+/// Measures the fraction of `sample_keys` whose owner changes when one
+/// node is added to a ring of `nodes` — the consistent-hashing elasticity
+/// metric (ideal: `1/(n+1)` of the keys move, all of them *to* the new
+/// node).
+pub fn rebalance_fraction_on_add(nodes: u32, vnodes_per_node: usize, sample_keys: u64) -> f64 {
+    assert!(nodes > 0 && sample_keys > 0);
+    let before = HashRing::with_nodes(nodes, vnodes_per_node);
+    let mut after = before.clone();
+    after.add_node(NodeId(nodes));
+    let mut moved = 0u64;
+    for k in 0..sample_keys {
+        let key = k.to_le_bytes();
+        let old = before.node_for_key(&key);
+        let new = after.node_for_key(&key);
+        if old != new {
+            // Consistent hashing guarantees movement only toward the new
+            // node; anything else is a ring bug.
+            assert_eq!(new, NodeId(nodes), "key moved between old nodes");
+            moved += 1;
+        }
+    }
+    moved as f64 / sample_keys as f64
+}
+
+fn vnode_token(node: NodeId, vnode: u64) -> u64 {
+    let node_hash = splitmix(node.0 as u64 ^ 0xDEAD_BEEF_CAFE_F00D);
+    splitmix(node_hash.wrapping_add(vnode.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_deterministic() {
+        let ring = HashRing::with_nodes(8, 64);
+        let a = ring.node_for_key(b"partition-42");
+        let b = ring.node_for_key(b"partition-42");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keys_spread_over_all_nodes() {
+        let ring = HashRing::with_nodes(8, 64);
+        let mut seen = BTreeSet::new();
+        for i in 0..1000 {
+            seen.insert(ring.node_for_key(format!("k{i}").as_bytes()));
+        }
+        assert_eq!(seen.len(), 8, "all nodes should receive keys");
+    }
+
+    #[test]
+    fn ownership_sums_to_one_and_is_roughly_uniform() {
+        let ring = HashRing::with_nodes(16, 256);
+        let own = ring.ownership();
+        let total: f64 = own.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (&node, &frac) in &own {
+            // With 256 vnodes the arc share concentrates near 1/16 ≈ 6.25 %.
+            assert!(
+                (frac - 1.0 / 16.0).abs() < 0.03,
+                "node {node} owns {frac:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_vnodes_reduce_ownership_spread() {
+        let spread = |vnodes: usize| {
+            let own = HashRing::with_nodes(8, vnodes).ownership();
+            let max = own.values().cloned().fold(0.0f64, f64::max);
+            let min = own.values().cloned().fold(1.0f64, f64::min);
+            max - min
+        };
+        assert!(spread(512) < spread(4));
+    }
+
+    #[test]
+    fn add_remove_node_is_consistent() {
+        let mut ring = HashRing::with_nodes(4, 32);
+        let before = ring.node_for_key(b"stable");
+        ring.add_node(NodeId(99));
+        ring.remove_node(NodeId(99));
+        assert_eq!(ring.node_for_key(b"stable"), before);
+        assert_eq!(ring.len(), 4);
+        // Idempotency.
+        ring.add_node(NodeId(1));
+        assert_eq!(ring.len(), 4);
+        ring.remove_node(NodeId(77));
+        assert_eq!(ring.len(), 4);
+    }
+
+    #[test]
+    fn removing_node_moves_only_its_keys() {
+        let mut ring = HashRing::with_nodes(8, 64);
+        let keys: Vec<String> = (0..500).map(|i| format!("k{i}")).collect();
+        let before: Vec<NodeId> = keys
+            .iter()
+            .map(|k| ring.node_for_key(k.as_bytes()))
+            .collect();
+        ring.remove_node(NodeId(3));
+        for (k, &owner_before) in keys.iter().zip(&before) {
+            let owner_after = ring.node_for_key(k.as_bytes());
+            if owner_before != NodeId(3) {
+                assert_eq!(owner_after, owner_before, "key {k} moved needlessly");
+            } else {
+                assert_ne!(owner_after, NodeId(3));
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_led_by_owner() {
+        let ring = HashRing::with_nodes(8, 64);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            let reps = ring.replicas_for_key(key.as_bytes(), 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], ring.node_for_key(key.as_bytes()));
+            let set: BTreeSet<_> = reps.iter().collect();
+            assert_eq!(set.len(), 3, "duplicate replica for {key}");
+        }
+    }
+
+    #[test]
+    fn rf_larger_than_cluster_returns_all_nodes() {
+        let ring = HashRing::with_nodes(3, 16);
+        let reps = ring.replicas_for_key(b"k", 5);
+        assert_eq!(reps.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_degenerate_rings() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert!(ring.replicas_for_key(b"k", 2).is_empty());
+        let mut one = HashRing::new(8);
+        one.add_node(NodeId(0));
+        assert_eq!(one.node_for_key(b"anything"), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ring")]
+    fn lookup_on_empty_ring_panics() {
+        HashRing::new(8).node_for_hash(42);
+    }
+
+    #[test]
+    fn adding_a_node_moves_about_one_share() {
+        // Growing 8 → 9 nodes should move ≈ 1/9 of the keys, all to the
+        // newcomer.
+        let moved = rebalance_fraction_on_add(8, 128, 5_000);
+        let ideal = 1.0 / 9.0;
+        assert!(
+            (moved - ideal).abs() < ideal * 0.5,
+            "moved {:.3} vs ideal {:.3}",
+            moved,
+            ideal
+        );
+    }
+
+    #[test]
+    fn display_names_match_paper_style() {
+        assert_eq!(NodeId(0).to_string(), "A");
+        assert_eq!(NodeId(6).to_string(), "G");
+        assert_eq!(NodeId(30).to_string(), "N30");
+    }
+}

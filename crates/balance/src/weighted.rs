@@ -1,0 +1,213 @@
+//! Weighted keys: when partitions are not the same size.
+//!
+//! The paper's §II phone-book example: grouping by city gives ~1 M keys —
+//! plenty for a uniform *key count* — but "some cities are much bigger than
+//! others. About half of the population lives in the 500 most populated
+//! cities", so the *load* is still dominated by few heavy keys and the
+//! effective cardinality is far lower than 1 M.
+
+use rand::Rng;
+
+/// Generates Zipf-like weights `w_i ∝ 1 / i^s` for `n` keys, normalized to
+/// sum to 1. `s = 1` is the classic city-size law.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one key");
+    let mut w: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// The number of heaviest keys that together carry `fraction` of the total
+/// weight (weights need not be sorted; they are cloned and sorted here).
+pub fn keys_carrying_fraction(weights: &[f64], fraction: f64) -> usize {
+    let mut sorted = weights.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN weight"));
+    let total: f64 = sorted.iter().sum();
+    let target = total * fraction.clamp(0.0, 1.0);
+    let mut acc = 0.0;
+    for (i, w) in sorted.iter().enumerate() {
+        acc += w;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    sorted.len()
+}
+
+/// The *effective key count* of a weighted distribution: `1 / Σ w_i²`
+/// (inverse Simpson index). Equal weights give `n`; a single dominant key
+/// gives ~1. This is the cardinality to feed into Formula 1 when keys carry
+/// unequal load.
+pub fn effective_keys(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = weights.iter().map(|w| (w / total) * (w / total)).sum();
+    if sum_sq == 0.0 {
+        0.0
+    } else {
+        1.0 / sum_sq
+    }
+}
+
+/// One Monte-Carlo trial: place each weighted key uniformly at random on a
+/// node; return the per-node total weight.
+pub fn place_weighted_once<R: Rng + ?Sized>(
+    weights: &[f64],
+    nodes: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(nodes > 0, "need at least one node");
+    let mut load = vec![0.0f64; nodes];
+    for &w in weights {
+        load[rng.gen_range(0..nodes)] += w;
+    }
+    load
+}
+
+/// Result of a weighted imbalance Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedImbalance {
+    /// Mean over trials of (max node load / mean node load) − 1.
+    pub mean_relative_excess: f64,
+    /// Worst relative excess observed over all trials.
+    pub worst_relative_excess: f64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+/// Estimates the relative excess load of the most loaded node when
+/// `weights` keys are placed uniformly at random on `nodes` nodes.
+pub fn weighted_imbalance<R: Rng + ?Sized>(
+    weights: &[f64],
+    nodes: usize,
+    trials: u64,
+    rng: &mut R,
+) -> WeightedImbalance {
+    assert!(trials > 0, "need at least one trial");
+    let total: f64 = weights.iter().sum();
+    let mean_load = total / nodes as f64;
+    let mut sum_excess = 0.0;
+    let mut worst = 0.0f64;
+    for _ in 0..trials {
+        let loads = place_weighted_once(weights, nodes, rng);
+        let max = loads.iter().fold(0.0f64, |a, &b| a.max(b));
+        let excess = if mean_load > 0.0 {
+            max / mean_load - 1.0
+        } else {
+            0.0
+        };
+        sum_excess += excess;
+        worst = worst.max(excess);
+    }
+    WeightedImbalance {
+        mean_relative_excess: sum_excess / trials as f64,
+        worst_relative_excess: worst,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::imbalance_ratio;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_weights_normalize_and_decrease() {
+        let w = zipf_weights(1000, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        assert!(w[0] > w[999] * 100.0);
+    }
+
+    #[test]
+    fn uniform_weights_effective_keys_is_n() {
+        let w = vec![0.25; 4];
+        assert!((effective_keys(&w) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_key_effective_keys_is_one() {
+        let mut w = vec![1e-9; 99];
+        w.push(1.0);
+        assert!(effective_keys(&w) < 1.01);
+    }
+
+    #[test]
+    fn effective_keys_degenerate() {
+        assert_eq!(effective_keys(&[]), 0.0);
+        assert_eq!(effective_keys(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn keys_carrying_fraction_half() {
+        // Zipf(1) over many keys concentrates: far fewer than half the keys
+        // carry half the weight.
+        let w = zipf_weights(100_000, 1.0);
+        let k = keys_carrying_fraction(&w, 0.5);
+        assert!(k < 5_000, "half the load in {k} keys");
+        assert_eq!(keys_carrying_fraction(&w, 0.0), 1);
+        assert_eq!(keys_carrying_fraction(&w, 1.0), 100_000);
+    }
+
+    #[test]
+    fn placement_conserves_weight() {
+        let w = zipf_weights(500, 1.0);
+        let loads = place_weighted_once(&w, 10, &mut rng(1));
+        assert!((loads.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(loads.len(), 10);
+    }
+
+    #[test]
+    fn paper_city_numbers() {
+        // The paper reduces the weighted city problem to "the 500 heaviest
+        // keys carry half the load" and applies Formula 1 to those 500:
+        // 21 % on 10 nodes, 35 % on 20. Check the reduction itself, and
+        // that a Monte-Carlo run with 500 equal hot keys agrees.
+        assert!((imbalance_ratio(500, 10) - 0.21).abs() < 0.01);
+        assert!((imbalance_ratio(500, 20) - 0.35).abs() < 0.01);
+        let hot = vec![1.0; 500];
+        let sim10 = weighted_imbalance(&hot, 10, 300, &mut rng(2));
+        assert!(
+            (sim10.mean_relative_excess - 0.21).abs() < 0.06,
+            "10 nodes: {}",
+            sim10.mean_relative_excess
+        );
+        let sim20 = weighted_imbalance(&hot, 20, 300, &mut rng(3));
+        assert!(
+            sim20.mean_relative_excess > sim10.mean_relative_excess,
+            "doubling nodes must worsen imbalance"
+        );
+    }
+
+    #[test]
+    fn skew_worsens_imbalance_vs_uniform() {
+        let uniform = vec![1.0; 10_000];
+        let skewed_w = zipf_weights(10_000, 1.0);
+        let u = weighted_imbalance(&uniform, 16, 100, &mut rng(4));
+        let s = weighted_imbalance(&skewed_w, 16, 100, &mut rng(5));
+        assert!(
+            s.mean_relative_excess > u.mean_relative_excess * 2.0,
+            "skewed {} vs uniform {}",
+            s.mean_relative_excess,
+            u.mean_relative_excess
+        );
+    }
+
+    #[test]
+    fn worst_is_at_least_mean() {
+        let w = zipf_weights(100, 1.0);
+        let r = weighted_imbalance(&w, 8, 50, &mut rng(6));
+        assert!(r.worst_relative_excess >= r.mean_relative_excess);
+        assert_eq!(r.trials, 50);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the placement substrate.
+
+use kvs_balance::formula::{expected_max_load, imbalance_ratio, keymax};
+use kvs_balance::simulation::{throw_once, Placement};
+use kvs_balance::{HashRing, NodeId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// key_max always lies between the uniform share and the key count.
+    #[test]
+    fn keymax_is_bounded(keys in 1u64..1_000_000, nodes in 1u64..512) {
+        let km = keymax(keys as f64, nodes);
+        prop_assert!(km >= keys as f64 / nodes as f64 - 1e-9);
+        prop_assert!(km <= keys as f64 + 1e-9);
+        // The two formulations agree.
+        prop_assert!((km - expected_max_load(keys, nodes)).abs() < 1e-9);
+    }
+
+    /// More keys can only improve (reduce) the relative imbalance; more
+    /// nodes can only worsen it.
+    #[test]
+    fn imbalance_monotonicity(keys in 10u64..100_000, nodes in 2u64..128) {
+        let p = imbalance_ratio(keys, nodes);
+        prop_assert!(imbalance_ratio(keys * 2, nodes) <= p + 1e-12);
+        prop_assert!(imbalance_ratio(keys, nodes + 1) >= p - 1e-12);
+    }
+
+    /// Ball throws conserve the ball count for every placement scheme.
+    #[test]
+    fn throws_conserve(balls in 0u64..5_000, bins in 1usize..64, seed in any::<u64>(),
+                       d in 1usize..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for placement in [Placement::SingleChoice, Placement::DChoice(d)] {
+            let counts = throw_once(balls, bins, placement, &mut rng);
+            prop_assert_eq!(counts.iter().sum::<u64>(), balls);
+            prop_assert_eq!(counts.len(), bins);
+        }
+    }
+
+    /// Ring lookups route every key to a live node, and the same key always
+    /// routes identically.
+    #[test]
+    fn ring_routes_to_live_nodes(nodes in 1u32..48, vnodes in 1usize..64,
+                                 keys in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let ring = HashRing::with_nodes(nodes, vnodes);
+        for &k in &keys {
+            let owner = ring.node_for_key(&k.to_le_bytes());
+            prop_assert!(owner.0 < nodes);
+            prop_assert_eq!(owner, ring.node_for_key(&k.to_le_bytes()));
+        }
+    }
+
+    /// Removing an unrelated node never moves a key between the survivors
+    /// (the consistency property of consistent hashing).
+    #[test]
+    fn ring_minimal_disruption(nodes in 3u32..32, victim in 0u32..32,
+                               keys in proptest::collection::vec(any::<u64>(), 1..40)) {
+        let victim = victim % nodes;
+        let mut ring = HashRing::with_nodes(nodes, 32);
+        let before: Vec<NodeId> = keys.iter().map(|k| ring.node_for_key(&k.to_le_bytes())).collect();
+        ring.remove_node(NodeId(victim));
+        for (k, owner_before) in keys.iter().zip(before) {
+            let after = ring.node_for_key(&k.to_le_bytes());
+            if owner_before != NodeId(victim) {
+                prop_assert_eq!(after, owner_before, "key {} moved needlessly", k);
+            } else {
+                prop_assert!(after != NodeId(victim));
+            }
+        }
+    }
+
+    /// Replica sets are duplicate-free, primary-led, and of the right size.
+    #[test]
+    fn replicas_well_formed(nodes in 1u32..24, rf in 1usize..6, key in any::<u64>()) {
+        let ring = HashRing::with_nodes(nodes, 32);
+        let reps = ring.replicas_for_key(&key.to_le_bytes(), rf);
+        prop_assert_eq!(reps.len(), rf.min(nodes as usize));
+        prop_assert_eq!(reps[0], ring.node_for_key(&key.to_le_bytes()));
+        let mut dedup = reps.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), reps.len());
+    }
+
+    /// Token-space ownership always sums to 1 and every node owns > 0.
+    #[test]
+    fn ownership_partitions_unit(nodes in 1u32..32, vnodes in 4usize..128) {
+        let ring = HashRing::with_nodes(nodes, vnodes);
+        let own = ring.ownership();
+        let total: f64 = own.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (&node, &frac) in &own {
+            prop_assert!(frac > 0.0, "node {node} owns nothing");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion benches for the placement substrate: ring lookups and
+//! balls-into-bins Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvs_balance::simulation::{max_load_once, Placement};
+use kvs_balance::HashRing;
+use kvs_simcore::RngHub;
+use std::hint::black_box;
+
+fn bench_ring_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balance/ring_lookup");
+    for (nodes, vnodes) in [(16u32, 128usize), (128, 256)] {
+        let ring = HashRing::with_nodes(nodes, vnodes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{vnodes}v")),
+            &ring,
+            |b, ring| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    black_box(ring.node_for_key(&i.to_le_bytes()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_replicas(c: &mut Criterion) {
+    let ring = HashRing::with_nodes(32, 128);
+    c.bench_function("balance/replicas_rf3", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(ring.replicas_for_key(&i.to_le_bytes(), 3).len())
+        })
+    });
+}
+
+fn bench_balls_into_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balance/max_load_trial");
+    let hub = RngHub::new(7);
+    for placement in [Placement::SingleChoice, Placement::TWO_CHOICE] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{placement:?}")),
+            &placement,
+            |b, &placement| {
+                let mut rng = hub.stream("bench");
+                b.iter(|| black_box(max_load_once(10_000, 64, placement, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ring_lookup, bench_replicas, bench_balls_into_bins
+}
+criterion_main!(benches);

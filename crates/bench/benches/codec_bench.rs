@@ -1,0 +1,57 @@
+//! Criterion benches for message serialization — the Rust analogue of the
+//! paper's §V-B measurement (the absolute numbers differ from a 2010 JVM;
+//! the Verbose/Compact *ratio* is the interesting output).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvs_cluster::messages::{QueryRequest, QueryResponse};
+use kvs_cluster::Codec;
+use kvs_store::PartitionKey;
+use std::hint::black_box;
+
+fn bench_encode_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/encode_request");
+    let req = QueryRequest {
+        request_id: 123_456,
+        partition: PartitionKey::from_id(42),
+    };
+    for codec in [Codec::verbose(), Codec::compact()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:?}", codec.kind)),
+            &codec,
+            |b, codec| b.iter(|| black_box(codec.encode_request(black_box(&req)).len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_roundtrip_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/roundtrip_response");
+    let resp = QueryResponse::from_kinds(7, (0..1_000u32).map(|i| (i % 4) as u8));
+    for codec in [Codec::verbose(), Codec::compact()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:?}", codec.kind)),
+            &codec,
+            |b, codec| {
+                b.iter(|| {
+                    let bytes = codec.encode_response(&resp);
+                    black_box(codec.decode_response(bytes).expect("roundtrip").cells)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_encode_request, bench_roundtrip_response
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the analytical model: prediction, optimization
+//! and regression fitting costs (the model must stay cheap enough to run
+//! inside planners).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kvs_model::regression::{fit_loglinear, fit_piecewise};
+use kvs_model::{optimize_partitions, SystemModel};
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let model = SystemModel::paper_optimized();
+    c.bench_function("model/predict", |b| {
+        let mut keys = 100.0;
+        b.iter(|| {
+            keys += 1.0;
+            black_box(model.predict(keys, 1_000_000.0 / keys, 16).total_ms())
+        })
+    });
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let model = SystemModel::paper_optimized();
+    c.bench_function("model/optimize_partitions", |b| {
+        b.iter(|| black_box(optimize_partitions(&model, 1_000_000.0, 16).partitions))
+    });
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=400).map(|i| i as f64 * 25.0).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&s| {
+            if s > 1_425.0 {
+                0.773 + 0.0439 * s
+            } else {
+                1.163 + 0.0387 * s
+            }
+        })
+        .collect();
+    c.bench_function("model/fit_piecewise_400pts", |b| {
+        b.iter(|| black_box(fit_piecewise(&xs, &ys).expect("fit").breakpoint))
+    });
+    let sp: Vec<f64> = xs.iter().map(|&s| 12.562 - 1.084 * s.ln()).collect();
+    c.bench_function("model/fit_loglinear_400pts", |b| {
+        b.iter(|| black_box(fit_loglinear(&xs, &sp).expect("fit").b))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_predict, bench_optimize, bench_fits
+}
+criterion_main!(benches);

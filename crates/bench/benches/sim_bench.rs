@@ -1,0 +1,56 @@
+//! Criterion benches for the cluster simulator itself: how fast the
+//! discrete-event replay runs (simulator overhead, not simulated time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvs_cluster::data::uniform_partitions;
+use kvs_cluster::{run_query, ClusterConfig, ClusterData};
+use kvs_store::{PartitionKey, TableOptions};
+use std::hint::black_box;
+
+fn bench_run_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/run_query");
+    group.sample_size(10);
+    for (partitions, cells) in [(200u64, 50u64), (1_000, 50)] {
+        let parts = uniform_partitions(partitions, cells, 4);
+        let keys: Vec<PartitionKey> = parts.iter().map(|(pk, _)| pk.clone()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{partitions}p_{cells}c")),
+            &(parts, keys),
+            |b, (parts, keys)| {
+                b.iter_batched(
+                    || ClusterData::load(8, 1, TableOptions::default(), parts.clone()),
+                    |mut data| {
+                        let cfg = ClusterConfig::paper_optimized_master(8);
+                        black_box(run_query(&cfg, &mut data, keys).total_cells)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_data_load(c: &mut Criterion) {
+    let parts = uniform_partitions(500, 100, 4);
+    c.bench_function("sim/load_50k_cells", |b| {
+        b.iter(|| {
+            let data = ClusterData::load(8, 1, TableOptions::default(), parts.clone());
+            black_box(data.partition_count())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_run_query, bench_data_load
+}
+criterion_main!(benches);

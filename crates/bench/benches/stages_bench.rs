@@ -1,0 +1,76 @@
+//! Criterion benches for the tracing/analysis layer — it must stay cheap
+//! enough to leave on in every experiment (Aeneas's design constraint).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kvs_simcore::SimTime;
+use kvs_stages::gantt::{render, GanttOptions};
+use kvs_stages::{analyze, RequestTrace, Stage, TraceRecorder};
+use std::hint::black_box;
+
+fn synthetic_traces(n: u64) -> Vec<RequestTrace> {
+    let mut rec = TraceRecorder::new();
+    for id in 0..n {
+        let node = (id % 16) as u32;
+        let base = id * 500_000; // 0.5 ms apart
+        rec.begin(id, node, 100);
+        rec.record(
+            id,
+            Stage::MasterToSlave,
+            SimTime::from_nanos(0),
+            SimTime::from_nanos(base + 100_000),
+        );
+        rec.record(
+            id,
+            Stage::InQueue,
+            SimTime::from_nanos(base + 100_000),
+            SimTime::from_nanos(base + 2_000_000),
+        );
+        rec.record(
+            id,
+            Stage::InDb,
+            SimTime::from_nanos(base + 2_000_000),
+            SimTime::from_nanos(base + 12_000_000),
+        );
+        rec.record(
+            id,
+            Stage::SlaveToMaster,
+            SimTime::from_nanos(base + 12_000_000),
+            SimTime::from_nanos(base + 12_100_000),
+        );
+    }
+    rec.into_traces()
+}
+
+fn bench_record(c: &mut Criterion) {
+    c.bench_function("stages/record_10k_requests", |b| {
+        b.iter(|| black_box(synthetic_traces(10_000).len()))
+    });
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let traces = synthetic_traces(10_000);
+    c.bench_function("stages/analyze_10k", |b| {
+        b.iter(|| black_box(analyze(&traces).makespan))
+    });
+}
+
+fn bench_gantt(c: &mut Criterion) {
+    let traces = synthetic_traces(10_000);
+    c.bench_function("stages/gantt_10k", |b| {
+        b.iter(|| black_box(render(&traces, GanttOptions::default()).len()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_record, bench_analyze, bench_gantt
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches for the store's read path: point reads and
+//! column-index-assisted range reads across row sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvs_store::{Cell, PartitionKey, Table, TableOptions};
+use std::hint::black_box;
+
+fn loaded_table(rows: &[(u64, u64)]) -> Table {
+    let mut table = Table::new(TableOptions::default());
+    for &(pk, cells) in rows {
+        for c in 0..cells {
+            table.put(PartitionKey::from_id(pk), Cell::synthetic(c, (c % 4) as u8));
+        }
+    }
+    table.flush();
+    table
+}
+
+fn bench_point_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/point_read");
+    for cells in [100u64, 1_000, 1_425, 1_426, 10_000] {
+        let mut table = loaded_table(&[(1, cells)]);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| {
+                let (out, receipt) = table.get(&PartitionKey::from_id(1));
+                black_box((out.len(), receipt.cells_returned))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/range_read_100_of_n");
+    // Reading 100 cells out of partitions of growing size: the column
+    // index should keep this flat above 1425 cells.
+    for cells in [1_000u64, 10_000, 50_000] {
+        let mut table = loaded_table(&[(1, cells)]);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, &n| {
+            let mid = n / 2;
+            b.iter(|| {
+                let (out, _) = table.get_range(&PartitionKey::from_id(1), mid..=mid + 99);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    c.bench_function("store/put_1k_cells", |b| {
+        b.iter(|| {
+            let mut table = Table::new(TableOptions::default());
+            for i in 0..1_000u64 {
+                table.put(PartitionKey::from_id(i % 10), Cell::synthetic(i, 0));
+            }
+            black_box(table.memtable_cells())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_point_reads, bench_range_reads, bench_writes
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches for the workload generators: particle synthesis and
+//! D8tree indexing (the preprocessing cost a user pays before querying).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kvs_simcore::RngHub;
+use kvs_workloads::alya::{generate, AlyaConfig};
+use kvs_workloads::D8Tree;
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/alya_generate");
+    for particles in [10_000usize, 50_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(particles),
+            &particles,
+            |b, &n| {
+                let cfg = AlyaConfig {
+                    particles: n,
+                    tree_depth: 6,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let mut rng = RngHub::new(1).stream("bench");
+                    black_box(generate(&cfg, &mut rng).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_d8tree_build(c: &mut Criterion) {
+    let mut rng = RngHub::new(2).stream("bench");
+    let particles = generate(
+        &AlyaConfig {
+            particles: 20_000,
+            tree_depth: 6,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("workloads/d8tree_build_20k");
+    for depth in [4u8, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| black_box(D8Tree::build(&particles, d).cubes_at(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_region(c: &mut Criterion) {
+    let mut rng = RngHub::new(3).stream("bench");
+    let particles = generate(
+        &AlyaConfig {
+            particles: 20_000,
+            tree_depth: 6,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let tree = D8Tree::build(&particles, 6);
+    c.bench_function("workloads/query_region_level6", |b| {
+        b.iter(|| black_box(tree.query_region(6, [0.3, 0.3, 0.3], [0.7, 0.7, 0.7]).len()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generate, bench_d8tree_build, bench_query_region
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation — the Figure 6 discontinuity follows `column_index_size_in_kb`.
+//!
+//! The paper traced the kink to Cassandra's `column_index_size_in_kb`
+//! parameter. Because our store implements the mechanism (not a hard-coded
+//! constant), sweeping the threshold must move the fitted breakpoint to
+//! `threshold_bytes / 46` cells every time.
+
+use kvs_bench::{banner, Csv};
+use kvs_cluster::{db_microbench, ClusterConfig, ClusterData};
+use kvs_model::regression::fit_piecewise;
+use kvs_simcore::RngHub;
+use kvs_store::{PartitionKey, TableOptions};
+use kvs_workloads::sampling::{partitions_with_sizes, stratified_sizes};
+
+fn main() {
+    banner(
+        "Ablation",
+        "column_index_size sweep: the Figure 6 breakpoint is mechanical",
+    );
+    let hub = RngHub::new(0xAB1A);
+    let mut csv = Csv::new(
+        "ablation_column_index",
+        &[
+            "column_index_kib",
+            "expected_breakpoint_cells",
+            "fitted_breakpoint_cells",
+            "jump_ms",
+        ],
+    );
+    println!(
+        "\n{:>18} {:>22} {:>22} {:>10}",
+        "column index", "expected breakpoint", "fitted breakpoint", "jump"
+    );
+    for kib in [16usize, 32, 64, 128] {
+        let threshold_bytes = kib * 1024;
+        let expected_cells = threshold_bytes / 46;
+        let mut rng = hub.stream(&format!("sweep-{kib}"));
+        // Sample densely around the expected kink plus broad coverage.
+        let mut sizes = stratified_sizes(1, (expected_cells * 4) as u64, 20, 6, &mut rng);
+        sizes.extend(stratified_sizes(
+            (expected_cells as u64).saturating_sub(300).max(1),
+            expected_cells as u64 + 300,
+            8,
+            4,
+            &mut rng,
+        ));
+        let parts = partitions_with_sizes(&sizes, 4);
+        let keys: Vec<PartitionKey> = parts.iter().map(|(pk, _)| pk.clone()).collect();
+        let mut cfg = ClusterConfig::paper_optimized_master(1).calibration();
+        cfg.db.cost.service_cv = 0.0; // isolate the mechanism
+        let opts = TableOptions {
+            column_index_size: threshold_bytes,
+            ..Default::default()
+        };
+        let mut data = ClusterData::load(1, 1, opts, parts);
+        let run = db_microbench(&cfg, &mut data, &keys, 1, &format!("ci-{kib}"));
+        let xs: Vec<f64> = run.samples.iter().map(|s| s.cells as f64).collect();
+        let ys: Vec<f64> = run.samples.iter().map(|s| s.ms).collect();
+        let fit = fit_piecewise(&xs, &ys).expect("fit");
+        println!(
+            "{:>14} KiB {:>16} cells {:>16.0} cells {:>8.2}ms",
+            kib,
+            expected_cells,
+            fit.breakpoint,
+            fit.jump()
+        );
+        csv.row(&[
+            &kib,
+            &expected_cells,
+            &format!("{:.0}", fit.breakpoint),
+            &format!("{:.2}", fit.jump()),
+        ]);
+        let rel_err = (fit.breakpoint - expected_cells as f64).abs() / expected_cells as f64;
+        assert!(
+            rel_err < 0.25,
+            "breakpoint did not follow the threshold: {} vs {}",
+            fit.breakpoint,
+            expected_cells
+        );
+    }
+    println!("\nReading: the discontinuity is not a magic constant — it moves with the");
+    println!("store's column_index_size, exactly as the paper found with Cassandra's");
+    println!("column_index_size_in_kb.");
+    csv.finish();
+}

@@ -1,0 +1,69 @@
+//! Ablation — replication factor × replica-selection policy (§VIII).
+//!
+//! The paper's related-work section weighs the trade-offs: replicas let the
+//! master balance reads, but selection costs master CPU and random
+//! spreading defeats caches. This sweep measures the load excess and query
+//! time of each policy on the simulated cluster.
+
+use kvs_bench::{banner, fmt_ms, fmt_pct, Csv};
+use kvs_cluster::data::uniform_partitions;
+use kvs_cluster::{run_query, ClusterConfig, ClusterData, ReplicaPolicy};
+use kvs_store::{PartitionKey, TableOptions};
+
+fn main() {
+    banner(
+        "Ablation",
+        "replication factor × replica policy: balance vs overhead",
+    );
+    let nodes = 8u32;
+    let partitions = uniform_partitions(160, 500, 4);
+    let keys: Vec<PartitionKey> = partitions.iter().map(|(pk, _)| pk.clone()).collect();
+
+    let mut csv = Csv::new(
+        "ablation_replication",
+        &["rf", "policy", "makespan_ms", "load_excess", "balanced_ms"],
+    );
+    println!(
+        "\n{:>4} {:>12} {:>11} {:>12} {:>11}",
+        "rf", "policy", "makespan", "load excess", "balanced"
+    );
+    for rf in [1usize, 2, 3] {
+        for policy in [
+            ReplicaPolicy::Primary,
+            ReplicaPolicy::Random,
+            ReplicaPolicy::RoundRobin,
+            ReplicaPolicy::LeastLoaded,
+        ] {
+            if rf == 1 && policy != ReplicaPolicy::Primary {
+                continue; // one replica: every policy degenerates to primary
+            }
+            let mut data =
+                ClusterData::load(nodes, rf, TableOptions::default(), partitions.clone());
+            let mut cfg = ClusterConfig::paper_optimized_master(nodes);
+            cfg.replication_factor = rf;
+            cfg.replica_policy = policy;
+            let result = run_query(&cfg, &mut data, &keys);
+            println!(
+                "{:>4} {:>12} {:>11} {:>12} {:>11}",
+                rf,
+                format!("{policy:?}"),
+                fmt_ms(result.makespan.as_millis_f64()),
+                fmt_pct(result.load_excess()),
+                fmt_ms(result.balanced_time().as_millis_f64()),
+            );
+            csv.row(&[
+                &rf,
+                &format!("{policy:?}"),
+                &format!("{:.2}", result.makespan.as_millis_f64()),
+                &format!("{:.4}", result.load_excess()),
+                &format!("{:.2}", result.balanced_time().as_millis_f64()),
+            ]);
+        }
+    }
+    println!("\nReading: replicas + least-loaded selection flatten the load excess that");
+    println!("dominates Figure 1's coarse/medium workloads; random selection helps less");
+    println!("and (in a cache-heavy deployment) would also forfeit row-cache hits — the");
+    println!("§VIII trade-off. The master pays the selection cost per message, which is");
+    println!("what caps it near 32 nodes in §VII's arithmetic.");
+    csv.finish();
+}

@@ -1,0 +1,92 @@
+//! Figure 8 — observed versus predicted times (model validation).
+//!
+//! Bars: measured query times for the three data models across cluster
+//! sizes; lines: the model's estimate and the GC-corrected estimate
+//! (`dbModel+GC`). The paper: "The precision of the estimation is high …
+//! The only correction we had to carry out was for policy coarse-grain".
+
+use kvs_bench::{banner, elements_from_env, fmt_ms, fmt_pct, Csv, PAPER_NODE_COUNTS};
+use kvs_model::validation::{mean_abs_error, validate, Observation};
+use kvs_model::SystemModel;
+use kvscale::workloads::DataModel;
+use kvscale::Study;
+
+fn main() {
+    let elements = elements_from_env();
+    banner(
+        "Figure 8",
+        "observed vs predicted time (dbModel and dbModel+GC)",
+    );
+    // Observations come from the simulator *with* its GC model enabled —
+    // the analogue of the paper's JVM runs.
+    let study = Study::new(elements);
+    let mut observations = Vec::new();
+    for model in DataModel::ALL {
+        for &nodes in &PAPER_NODE_COUNTS {
+            let result = study.run(model, nodes);
+            observations.push(Observation {
+                label: format!("{}/{}", model.label(), nodes),
+                keys: model.partitions_for(elements) as f64,
+                cells_per_key: model.cells_per_partition() as f64,
+                nodes: nodes as u64,
+                observed_ms: result.makespan.as_millis_f64(),
+            });
+        }
+    }
+    let model = SystemModel::paper_optimized();
+    let rows = validate(&model, &observations);
+
+    let mut csv = Csv::new(
+        "fig08",
+        &[
+            "case",
+            "observed_ms",
+            "predicted_ms",
+            "predicted_gc_ms",
+            "error",
+            "error_gc",
+        ],
+    );
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "case", "observed", "dbModel", "dbModel+GC", "err", "err+GC"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>10} {:>10} {:>12} {:>8} {:>8}",
+            r.label,
+            fmt_ms(r.observed_ms),
+            fmt_ms(r.predicted_ms),
+            fmt_ms(r.predicted_gc_ms),
+            fmt_pct(r.error),
+            fmt_pct(r.error_gc),
+        );
+        csv.row(&[
+            &r.label,
+            &format!("{:.2}", r.observed_ms),
+            &format!("{:.2}", r.predicted_ms),
+            &format!("{:.2}", r.predicted_gc_ms),
+            &format!("{:.4}", r.error),
+            &format!("{:.4}", r.error_gc),
+        ]);
+    }
+    println!(
+        "\nmean |error|: dbModel {:.1}%   dbModel+GC {:.1}%",
+        mean_abs_error(&rows, false) * 100.0,
+        mean_abs_error(&rows, true) * 100.0
+    );
+    let coarse_rows: Vec<_> = rows
+        .iter()
+        .filter(|r| r.label.starts_with("coarse"))
+        .collect();
+    let coarse_err: f64 =
+        coarse_rows.iter().map(|r| r.error.abs()).sum::<f64>() / coarse_rows.len() as f64;
+    let coarse_err_gc: f64 =
+        coarse_rows.iter().map(|r| r.error_gc.abs()).sum::<f64>() / coarse_rows.len() as f64;
+    println!(
+        "coarse-grained only: dbModel {:.1}% → dbModel+GC {:.1}% (the paper's GC correction)",
+        coarse_err * 100.0,
+        coarse_err_gc * 100.0
+    );
+    csv.finish();
+}

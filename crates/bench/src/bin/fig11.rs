@@ -1,0 +1,74 @@
+//! Figure 11 — load-distribution limits of a single master.
+//!
+//! Sweeps cluster sizes with the optimizer choosing the partition count at
+//! each size and reports where the master's issue time crosses the
+//! database's serving time ("with more than 70 servers, the master
+//! requires more time to send the requests than the time the database
+//! would need to serve them"), plus §VII's replica-selection arithmetic
+//! (master saturating past ≈32 nodes).
+
+use kvs_bench::{banner, elements_from_env, fmt_ms, Csv};
+use kvs_model::limits::{master_crossover, master_limit_sweep, replica_selection_node_limit};
+use kvs_model::SystemModel;
+
+fn main() {
+    let elements = elements_from_env() as f64;
+    banner(
+        "Figure 11",
+        "single-master limits under random distribution",
+    );
+    let model = SystemModel::paper_optimized();
+    let nodes: Vec<u64> = vec![1, 2, 4, 8, 16, 24, 32, 48, 64, 70, 96, 128, 192, 256];
+    let points = master_limit_sweep(&model, elements, &nodes);
+
+    let mut csv = Csv::new(
+        "fig11",
+        &[
+            "nodes",
+            "optimal_rows",
+            "master_ms",
+            "slave_ms",
+            "total_ms",
+            "master_bound",
+        ],
+    );
+    println!(
+        "\n{:>6} {:>13} {:>10} {:>10} {:>10}  binding",
+        "nodes", "optimal rows", "master", "slaves", "total"
+    );
+    for p in &points {
+        println!(
+            "{:>6} {:>13} {:>10} {:>10} {:>10}  {}",
+            p.nodes,
+            p.partitions,
+            fmt_ms(p.master_ms),
+            fmt_ms(p.slave_ms),
+            fmt_ms(p.total_ms),
+            if p.master_bound() { "MASTER" } else { "db" }
+        );
+        csv.row(&[
+            &p.nodes,
+            &p.partitions,
+            &format!("{:.2}", p.master_ms),
+            &format!("{:.2}", p.slave_ms),
+            &format!("{:.2}", p.total_ms),
+            &p.master_bound(),
+        ]);
+    }
+    match master_crossover(&points) {
+        Some(n) => println!(
+            "\nmaster overtakes the database at ≈{n} nodes (paper: ≈70 with its constants)"
+        ),
+        None => println!("\nmaster never saturated in this sweep"),
+    }
+
+    println!("\n§VII replica-selection arithmetic:");
+    println!("  request duration 11 ms, 16-way per node, 19 µs/msg:");
+    let limit = replica_selection_node_limit(11.0, 16, 19.0);
+    println!(
+        "  the master can feed at most ≈{limit} nodes (paper: \"with more than 32 nodes\n  the master will start to be the major performance bottleneck\")"
+    );
+    let slow_limit = replica_selection_node_limit(11.0, 16, 150.0);
+    println!("  with the slow 150 µs master that limit is just {slow_limit} nodes.");
+    csv.finish();
+}

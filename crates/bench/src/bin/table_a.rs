@@ -1,0 +1,68 @@
+//! Table A — the paper's §II worked example: how many more keys (in
+//! proportion) land on the most loaded of 10 servers for the phone-book
+//! data models, and what happens to the weighted "cities" layout when the
+//! cluster doubles.
+
+use kvs_balance::formula::imbalance_ratio;
+use kvs_balance::weighted::{keys_carrying_fraction, weighted_imbalance, zipf_weights};
+use kvs_bench::{banner, Csv};
+use kvs_simcore::RngHub;
+
+fn main() {
+    banner(
+        "Table A (§II)",
+        "phone-book example: expected imbalance by partition-key choice",
+    );
+    let mut csv = Csv::new(
+        "table_a",
+        &["layout", "keys", "nodes", "formula1_pct", "paper_pct"],
+    );
+
+    println!("\nFormula 1, ten servers:");
+    let rows: [(&str, u64, f64); 3] = [
+        ("by country (200 keys)", 200, 34.0),
+        ("by city (1M keys)", 1_000_000, 0.5),
+        ("by subscriber (1B keys)", 1_000_000_000, 0.015),
+    ];
+    for (label, keys, paper_pct) in rows {
+        let p = imbalance_ratio(keys, 10) * 100.0;
+        println!("  {label:<28} p ≈ {p:>7.3}%   (paper: ≈{paper_pct}%)");
+        csv.row(&[&label, &keys, &10, &format!("{p:.4}"), &paper_pct]);
+    }
+
+    println!("\nWeighted cities (half the population in the 500 biggest):");
+    // Build a Zipf city-size distribution and confirm the paper's premise.
+    let weights = zipf_weights(1_000_000, 1.0);
+    let hot = keys_carrying_fraction(&weights, 0.5);
+    println!("  Zipf(1) over 1M cities: {hot} keys carry half the load");
+    for nodes in [10u64, 20] {
+        let p = imbalance_ratio(500, nodes) * 100.0;
+        let paper = if nodes == 10 { 21.0 } else { 35.0 };
+        println!("  500 hot keys on {nodes:>2} nodes: Formula 1 → {p:>5.1}%   (paper: ≈{paper}%)");
+        csv.row(&[
+            &"500 hot cities",
+            &500u64,
+            &nodes,
+            &format!("{p:.2}"),
+            &paper,
+        ]);
+    }
+
+    // Monte-Carlo cross-check of the weighted layout itself.
+    let hub = RngHub::new(0xAB1E);
+    let mut rng = hub.stream("table-a");
+    println!("\nMonte-Carlo (1 000 trials, full Zipf weight vector, 100k cities):");
+    let weights_small = zipf_weights(100_000, 1.0);
+    for nodes in [10usize, 20] {
+        let sim = weighted_imbalance(&weights_small, nodes, 1_000, &mut rng);
+        println!(
+            "  {nodes:>2} nodes: mean excess of the most loaded node = {:.1}% (worst {:.1}%)",
+            sim.mean_relative_excess * 100.0,
+            sim.worst_relative_excess * 100.0
+        );
+    }
+    println!("\nReading: imbalance falls with keys (34% → 0.5% → 0.015%) but the");
+    println!("weighted layout behaves like its hot-key count, and doubling the");
+    println!("cluster makes it worse (21% → 35%), exactly as §II argues.");
+    csv.finish();
+}

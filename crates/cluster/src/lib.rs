@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # kvs-cluster
+//!
+//! The distributed prototype of the paper (§V): a master/slave aggregation
+//! engine over a DHT-partitioned wide-column store, runnable in two modes:
+//!
+//! * [`sim`] — a deterministic discrete-event replay of the paper's 16-node
+//!   cluster. Per-message master CPU, network transit, slave queueing and
+//!   database service (with cross-request interference) are first-class
+//!   simulated quantities calibrated to the constants the paper reports.
+//! * [`live`] — a real multi-threaded executor (one OS thread per slave,
+//!   crossbeam channels as the network) for demonstrating the methodology
+//!   on actual hardware.
+//!
+//! Both record the four methodology stages through `kvs-stages` and return
+//! a [`RunResult`].
+//!
+//! Sub-modules:
+//! * [`messages`] — the wire protocol (query / response).
+//! * [`codec`] — `Verbose` (Java-default-like) vs `Compact` (Kryo-like)
+//!   serialization with measured byte sizes and modelled CPU cost; the
+//!   §V-B optimization that turned Figure 1 into Figure 5.
+//! * [`usl`] — the database interference model (Universal Scalability Law)
+//!   that reproduces Figure 7's parallelism speed-ups.
+//! * [`config`] — cluster/hardware presets (`paper_slow_master`,
+//!   `paper_optimized_master`).
+//! * [`data`] — DHT data placement: partitions → ring → per-node tables.
+//! * [`policy`] — replica-selection policies (primary-only, random,
+//!   round-robin, least-loaded).
+//! * [`sim`], [`result`], [`live`].
+
+pub mod codec;
+pub mod config;
+pub mod data;
+pub mod live;
+pub mod messages;
+pub mod policy;
+pub mod result;
+pub mod sim;
+pub mod usl;
+
+pub use codec::{Codec, CodecKind};
+pub use config::{ClusterConfig, DbConfig, GcConfig, MasterConfig, NetworkConfig, NodeFailure};
+pub use data::ClusterData;
+pub use messages::{QueryRequest, QueryResponse};
+pub use policy::ReplicaPolicy;
+pub use result::RunResult;
+pub use sim::{db_microbench, run_open_loop, run_query, OpenLoopResult};

@@ -1,0 +1,95 @@
+//! The wire protocol between master and slaves.
+//!
+//! The paper's prototype runs a "count by type" aggregation: the master
+//! sends one [`QueryRequest`] per partition key, each slave reads the
+//! partition locally and answers with a [`QueryResponse`] holding the
+//! per-kind counts.
+
+use kvs_store::PartitionKey;
+use std::collections::BTreeMap;
+
+/// A sub-query: "aggregate this partition".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Unique id within the distributed query.
+    pub request_id: u64,
+    /// The partition to aggregate.
+    pub partition: PartitionKey,
+}
+
+/// A partial result: per-kind cell counts for one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponse {
+    /// Echoes the request id.
+    pub request_id: u64,
+    /// kind byte → number of cells of that kind.
+    pub counts: BTreeMap<u8, u64>,
+    /// Total cells aggregated (Σ counts, precomputed for convenience).
+    pub cells: u64,
+}
+
+impl QueryResponse {
+    /// Builds a response from raw cell kinds.
+    pub fn from_kinds(request_id: u64, kinds: impl IntoIterator<Item = u8>) -> Self {
+        let mut counts: BTreeMap<u8, u64> = BTreeMap::new();
+        let mut cells = 0;
+        for kind in kinds {
+            *counts.entry(kind).or_insert(0) += 1;
+            cells += 1;
+        }
+        QueryResponse {
+            request_id,
+            counts,
+            cells,
+        }
+    }
+
+    /// Merges another partial result into this one (the master's reduce).
+    pub fn merge(&mut self, other: &QueryResponse) {
+        for (&kind, &count) in &other.counts {
+            *self.counts.entry(kind).or_insert(0) += count;
+        }
+        self.cells += other.cells;
+    }
+
+    /// An empty accumulator for the master's reduce.
+    pub fn empty() -> Self {
+        QueryResponse {
+            request_id: 0,
+            counts: BTreeMap::new(),
+            cells: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_kinds_counts_correctly() {
+        let r = QueryResponse::from_kinds(1, [0u8, 1, 1, 2, 2, 2]);
+        assert_eq!(r.cells, 6);
+        assert_eq!(r.counts[&0], 1);
+        assert_eq!(r.counts[&1], 2);
+        assert_eq!(r.counts[&2], 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut acc = QueryResponse::empty();
+        acc.merge(&QueryResponse::from_kinds(1, [0u8, 1]));
+        acc.merge(&QueryResponse::from_kinds(2, [1u8, 2]));
+        assert_eq!(acc.cells, 4);
+        assert_eq!(acc.counts[&0], 1);
+        assert_eq!(acc.counts[&1], 2);
+        assert_eq!(acc.counts[&2], 1);
+    }
+
+    #[test]
+    fn empty_kinds() {
+        let r = QueryResponse::from_kinds(9, std::iter::empty());
+        assert_eq!(r.cells, 0);
+        assert!(r.counts.is_empty());
+    }
+}

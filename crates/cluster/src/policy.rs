@@ -1,0 +1,140 @@
+//! Replica-selection policies (paper §VIII and the Figure 11 discussion).
+//!
+//! With a replication factor above 1 the master can pick *which* replica
+//! serves each sub-query. The paper discusses the trade-off: random
+//! spreading balances load but defeats caches; least-loaded selection needs
+//! load knowledge and master CPU; Cassandra's driver sticks to the primary
+//! unless it is down.
+
+use rand::Rng;
+
+/// How the master chooses among a partition's replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaPolicy {
+    /// Always the ring owner (Cassandra driver default).
+    Primary,
+    /// Uniformly random among replicas.
+    Random,
+    /// Rotate through replicas per request.
+    RoundRobin,
+    /// The replica whose database currently has the fewest queued +
+    /// in-flight requests (the paper's "replica selection algorithm" whose
+    /// master-side cost Figure 11 contrasts against random distribution).
+    LeastLoaded,
+}
+
+impl ReplicaPolicy {
+    /// Picks an index into `replicas` (`0` = primary).
+    ///
+    /// `loads[i]` is the current in-flight+queued depth of replica `i`;
+    /// `counter` is a per-query monotonically increasing dispatch counter
+    /// (drives round-robin).
+    pub fn pick<R: Rng + ?Sized>(
+        &self,
+        replica_count: usize,
+        loads: &[usize],
+        counter: u64,
+        rng: &mut R,
+    ) -> usize {
+        assert!(replica_count > 0, "no replicas to pick from");
+        match self {
+            ReplicaPolicy::Primary => 0,
+            ReplicaPolicy::Random => rng.gen_range(0..replica_count),
+            ReplicaPolicy::RoundRobin => (counter % replica_count as u64) as usize,
+            ReplicaPolicy::LeastLoaded => loads
+                .iter()
+                .take(replica_count)
+                .enumerate()
+                .min_by_key(|(_, &l)| l)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        }
+    }
+
+    /// The master-side CPU overhead of running this policy per request, in
+    /// microseconds, relative to fire-and-forget. Least-loaded has to
+    /// consult load statistics — the cost §VII's back-of-envelope uses to
+    /// show the master saturating near 32 nodes.
+    pub fn master_overhead_us(&self) -> f64 {
+        match self {
+            ReplicaPolicy::Primary => 0.0,
+            ReplicaPolicy::Random => 0.2,
+            ReplicaPolicy::RoundRobin => 0.1,
+            ReplicaPolicy::LeastLoaded => 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn primary_always_zero() {
+        let mut r = rng();
+        for c in 0..10 {
+            assert_eq!(ReplicaPolicy::Primary.pick(3, &[9, 0, 0], c, &mut r), 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = rng();
+        let picks: Vec<usize> = (0..6)
+            .map(|c| ReplicaPolicy::RoundRobin.pick(3, &[0, 0, 0], c, &mut r))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum() {
+        let mut r = rng();
+        assert_eq!(ReplicaPolicy::LeastLoaded.pick(3, &[5, 2, 9], 0, &mut r), 1);
+        // Ties break toward the primary (stable min).
+        assert_eq!(ReplicaPolicy::LeastLoaded.pick(3, &[2, 2, 9], 0, &mut r), 0);
+    }
+
+    #[test]
+    fn random_covers_all_replicas() {
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for c in 0..100 {
+            seen[ReplicaPolicy::Random.pick(3, &[0, 0, 0], c, &mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_replica_always_zero() {
+        let mut r = rng();
+        for p in [
+            ReplicaPolicy::Primary,
+            ReplicaPolicy::Random,
+            ReplicaPolicy::RoundRobin,
+            ReplicaPolicy::LeastLoaded,
+        ] {
+            assert_eq!(p.pick(1, &[3], 5, &mut r), 0);
+        }
+    }
+
+    #[test]
+    fn least_loaded_costs_most_master_cpu() {
+        assert!(
+            ReplicaPolicy::LeastLoaded.master_overhead_us()
+                > ReplicaPolicy::Random.master_overhead_us()
+        );
+        assert_eq!(ReplicaPolicy::Primary.master_overhead_us(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicas")]
+    fn zero_replicas_rejected() {
+        let mut r = rng();
+        ReplicaPolicy::Primary.pick(0, &[], 0, &mut r);
+    }
+}

@@ -1,0 +1,209 @@
+//! The database interference model behind Figure 7.
+//!
+//! The paper measured that raising per-node request parallelism increases
+//! throughput sub-linearly, that throughput eventually *degrades*, and that
+//! the optimum parallelism shrinks with row size: "The small queries
+//! perform best with 32 requests at a time, the medium with 16 while the
+//! large ones with 8" (§VI-a). The max achievable speed-up follows the log
+//! law of Formula 7: `12.562 − 1.084·ln(s)`.
+//!
+//! We model per-node throughput with Gunther's Universal Scalability Law,
+//! `S(k) = k / (1 + σ(k−1) + κ·k(k−1))`, whose two coefficients we *solve*
+//! per row size so that the peak speed-up matches Formula 7 and the peak
+//! location matches the paper's 32/16/8 observation. The simulator then
+//! inflates every request's service time by `k / S(k)`, which reproduces
+//! both the speed-up curves and the queueing behaviour.
+
+/// USL coefficients: contention (σ) and coherency (κ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UslParams {
+    /// Serial-fraction contention coefficient.
+    pub sigma: f64,
+    /// Crosstalk / coherency coefficient (drives retrograde throughput).
+    pub kappa: f64,
+}
+
+impl UslParams {
+    /// Throughput speed-up over a single in-flight request when `k`
+    /// requests run concurrently.
+    pub fn speedup(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let kf = k as f64;
+        kf / (1.0 + self.sigma * (kf - 1.0) + self.kappa * kf * (kf - 1.0))
+    }
+
+    /// Service-time inflation factor at concurrency `k` (= `k / S(k)` ≥ 1).
+    pub fn inflation(&self, k: usize) -> f64 {
+        if k <= 1 {
+            return 1.0;
+        }
+        (k as f64 / self.speedup(k)).max(1.0)
+    }
+
+    /// The concurrency that maximizes throughput: `k* = sqrt((1−σ)/κ)`.
+    pub fn optimal_k(&self) -> f64 {
+        if self.kappa <= 0.0 {
+            return f64::INFINITY;
+        }
+        ((1.0 - self.sigma).max(0.0) / self.kappa).sqrt()
+    }
+
+    /// Solves (σ, κ) so that the peak speed-up is `peak_speedup` and is
+    /// attained at concurrency `peak_k`.
+    ///
+    /// Derivation: with `A = k*/S* − 1`, the USL peak conditions give
+    /// `σ = A·k*/(k*−1)² − 1/(k*−1)` and `κ = (1−σ)/k*²`.
+    ///
+    /// # Panics
+    /// If `peak_k ≤ 1` or `peak_speedup` is not in `(1, peak_k]` — such
+    /// targets have no USL representation.
+    pub fn solve(peak_speedup: f64, peak_k: f64) -> UslParams {
+        assert!(peak_k > 1.0, "peak concurrency must exceed 1");
+        assert!(
+            peak_speedup > 1.0 && peak_speedup <= peak_k,
+            "peak speed-up must be in (1, k*]"
+        );
+        let a = peak_k / peak_speedup - 1.0;
+        let sigma = (a * peak_k / ((peak_k - 1.0) * (peak_k - 1.0)) - 1.0 / (peak_k - 1.0))
+            .clamp(0.0, 0.999);
+        let kappa = (1.0 - sigma) / (peak_k * peak_k);
+        UslParams { sigma, kappa }
+    }
+}
+
+/// Formula 7: the max parallel speed-up the paper fit against row size,
+/// clamped to ≥ 1 (a speed-up below 1 is meaningless).
+pub fn formula7_peak_speedup(cells: u64) -> f64 {
+    let s = (cells.max(1)) as f64;
+    (12.562 - 1.084 * s.ln()).max(1.0)
+}
+
+/// The paper's observed optimal parallelism by row size: 32 for small
+/// rows, 16 for medium, 8 for large (§VI-a).
+pub fn paper_optimal_parallelism(cells: u64) -> f64 {
+    if cells < 1_000 {
+        32.0
+    } else if cells < 4_000 {
+        16.0
+    } else {
+        8.0
+    }
+}
+
+/// The interference parameters for a request of `cells` cells, solved from
+/// the two paper calibrations above. For very large rows Formula 7 clamps
+/// at 1 and USL has no solution; we fall back to near-serial parameters.
+pub fn params_for_cells(cells: u64) -> UslParams {
+    let peak = formula7_peak_speedup(cells);
+    let k = paper_optimal_parallelism(cells);
+    if peak <= 1.0 + 1e-9 {
+        // Effectively serial: heavy contention, mild coherency.
+        return UslParams {
+            sigma: 0.999,
+            kappa: 1e-4,
+        };
+    }
+    UslParams::solve(peak.min(k), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_one_at_k1() {
+        let p = UslParams::solve(6.0, 32.0);
+        assert!((p.speedup(1) - 1.0).abs() < 1e-12);
+        assert_eq!(p.inflation(1), 1.0);
+        assert_eq!(p.speedup(0), 0.0);
+    }
+
+    #[test]
+    fn solve_hits_peak_targets() {
+        for &(s_star, k_star) in &[(7.5f64, 32.0f64), (4.3, 16.0), (2.6, 8.0)] {
+            let p = UslParams::solve(s_star, k_star);
+            let got = p.speedup(k_star.round() as usize);
+            assert!(
+                (got - s_star).abs() / s_star < 0.02,
+                "target {s_star}@{k_star}: got {got}"
+            );
+            assert!(
+                (p.optimal_k() - k_star).abs() / k_star < 0.05,
+                "optimal k {} vs {}",
+                p.optimal_k(),
+                k_star
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_is_retrograde_past_peak() {
+        let p = UslParams::solve(6.0, 16.0);
+        assert!(p.speedup(16) > p.speedup(4));
+        assert!(p.speedup(64) < p.speedup(16), "no retrograde region");
+    }
+
+    #[test]
+    fn inflation_grows_with_concurrency() {
+        let p = UslParams::solve(6.0, 16.0);
+        let mut prev = 0.0;
+        for k in 1..=64 {
+            let inf = p.inflation(k);
+            assert!(inf >= prev - 1e-12, "inflation not monotone at k={k}");
+            assert!(inf >= 1.0);
+            prev = inf;
+        }
+    }
+
+    #[test]
+    fn formula7_matches_paper_values() {
+        // s=100: 12.562 − 1.084·ln(100) ≈ 7.57.
+        assert!((formula7_peak_speedup(100) - 7.57).abs() < 0.01);
+        // s=10 000: ≈ 2.58.
+        assert!((formula7_peak_speedup(10_000) - 2.58).abs() < 0.01);
+        // Clamped at 1 for absurdly large rows.
+        assert_eq!(formula7_peak_speedup(1_000_000_000), 1.0);
+        assert_eq!(formula7_peak_speedup(0), formula7_peak_speedup(1));
+    }
+
+    #[test]
+    fn paper_parallelism_steps() {
+        assert_eq!(paper_optimal_parallelism(100), 32.0);
+        assert_eq!(paper_optimal_parallelism(2_000), 16.0);
+        assert_eq!(paper_optimal_parallelism(10_000), 8.0);
+    }
+
+    #[test]
+    fn params_for_cells_reproduce_figure7_trends() {
+        // Small rows: high peak speed-up at high parallelism.
+        let small = params_for_cells(200);
+        // Large rows: low peak at low parallelism.
+        let large = params_for_cells(9_000);
+        let small_best = (1..=64).map(|k| small.speedup(k)).fold(0.0, f64::max);
+        let large_best = (1..=64).map(|k| large.speedup(k)).fold(0.0, f64::max);
+        assert!(small_best > 5.0, "small-row best {small_best}");
+        assert!(large_best < 3.5, "large-row best {large_best}");
+        assert!(small.optimal_k() > large.optimal_k());
+    }
+
+    #[test]
+    fn degenerate_rows_do_not_panic() {
+        let p = params_for_cells(u64::MAX >> 8);
+        assert!(p.speedup(8) >= 0.9);
+        assert!(p.inflation(32) >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak concurrency")]
+    fn solve_rejects_k1() {
+        let _ = UslParams::solve(1.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak speed-up")]
+    fn solve_rejects_superlinear() {
+        let _ = UslParams::solve(40.0, 32.0);
+    }
+}

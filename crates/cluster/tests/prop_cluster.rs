@@ -1,0 +1,111 @@
+//! Property tests for the cluster layer: codecs and the USL interference
+//! model.
+
+use kvs_cluster::messages::{QueryRequest, QueryResponse};
+use kvs_cluster::usl::{formula7_peak_speedup, params_for_cells, UslParams};
+use kvs_cluster::Codec;
+use kvs_store::PartitionKey;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both codecs round-trip arbitrary requests.
+    #[test]
+    fn codecs_roundtrip_requests(id in any::<u64>(),
+                                 key in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let req = QueryRequest {
+            request_id: id,
+            partition: PartitionKey::new(key),
+        };
+        for codec in [Codec::verbose(), Codec::compact()] {
+            let bytes = codec.encode_request(&req);
+            prop_assert_eq!(codec.decode_request(bytes).expect("roundtrip"), req.clone());
+        }
+    }
+
+    /// Both codecs round-trip arbitrary responses (any kind→count map).
+    #[test]
+    fn codecs_roundtrip_responses(id in any::<u64>(),
+                                  counts in proptest::collection::btree_map(any::<u8>(), 1u64..1_000_000, 0..32)) {
+        let cells = counts.values().sum();
+        let resp = QueryResponse {
+            request_id: id,
+            counts: counts.clone() as BTreeMap<u8, u64>,
+            cells,
+        };
+        for codec in [Codec::verbose(), Codec::compact()] {
+            let bytes = codec.encode_response(&resp);
+            prop_assert_eq!(codec.decode_response(bytes).expect("roundtrip"), resp.clone());
+        }
+    }
+
+    /// The verbose codec is always the bigger wire format.
+    #[test]
+    fn verbose_never_smaller(id in any::<u64>(), key_len in 0usize..64) {
+        let req = QueryRequest {
+            request_id: id,
+            partition: PartitionKey::new(vec![0xAA; key_len]),
+        };
+        let v = Codec::verbose().encode_request(&req).len();
+        let c = Codec::compact().encode_request(&req).len();
+        prop_assert!(v > c, "verbose {v} vs compact {c}");
+    }
+
+    /// Truncating any codec output never decodes successfully and never
+    /// panics.
+    #[test]
+    fn truncation_is_safe(id in any::<u64>(), cut_frac in 0.0f64..0.999) {
+        let req = QueryRequest {
+            request_id: id,
+            partition: PartitionKey::from_id(id),
+        };
+        for codec in [Codec::verbose(), Codec::compact()] {
+            let bytes = codec.encode_request(&req);
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            prop_assert!(codec.decode_request(bytes.slice(..cut)).is_none());
+        }
+    }
+
+    /// USL invariants hold for any solvable (peak speed-up, peak k) target:
+    /// S(1)=1, S(k) ≤ k, inflation ≥ 1 and monotone, retrograde after k*.
+    #[test]
+    fn usl_invariants(k_star in 2.0f64..64.0, frac in 0.05f64..0.95) {
+        // USL with σ ≥ 0 can only place a peak of up to k²/(2k−1) at k;
+        // draw targets inside the representable region.
+        let s_max = k_star * k_star / (2.0 * k_star - 1.0);
+        let s_star = 1.0 + frac * (s_max - 1.0) * 0.98;
+        let p = UslParams::solve(s_star, k_star);
+        prop_assert!((p.speedup(1) - 1.0).abs() < 1e-9);
+        let mut prev_inflation = 0.0;
+        for k in 1..=128usize {
+            let s = p.speedup(k);
+            prop_assert!(s <= k as f64 + 1e-9, "superlinear at k={k}");
+            prop_assert!(s > 0.0);
+            let infl = p.inflation(k);
+            prop_assert!(infl >= 1.0 - 1e-12);
+            prop_assert!(infl >= prev_inflation - 1e-12, "inflation not monotone at k={k}");
+            prev_inflation = infl;
+        }
+        // The solved peak is where it was asked to be (within discreteness).
+        let k_round = k_star.round() as usize;
+        prop_assert!((p.speedup(k_round) - s_star).abs() / s_star < 0.05);
+        // Past ~2·k* throughput is at or below the peak.
+        prop_assert!(p.speedup((2.0 * k_star).ceil() as usize) <= s_star + 1e-6);
+    }
+
+    /// The per-row-size USL parameters always yield sane service inflation
+    /// and respect the Formula 7 ceiling.
+    #[test]
+    fn params_for_cells_sane(cells in 1u64..1_000_000, k in 1usize..128) {
+        let p = params_for_cells(cells);
+        let s = p.speedup(k);
+        // Deep retrograde territory (k ≫ k*) may dip below 1× — genuine
+        // thrashing — but must never collapse entirely.
+        prop_assert!(s >= 0.5, "throughput collapsed: {s}");
+        prop_assert!(s <= formula7_peak_speedup(cells) * 1.05 + 1e-9,
+            "speed-up exceeds the Formula 7 ceiling: {s}");
+        prop_assert!(p.inflation(k) >= 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # kvscale
+//!
+//! Reproduction of **"Exploiting key-value data stores scalability for
+//! HPC"** (Cugnasco, Becerra, Torres, Ayguadé — ICPP 2017): a benchmarking
+//! methodology and an analytical performance model for distributed
+//! applications on DHT key-value stores, together with every substrate the
+//! paper's experiments need (a Cassandra-like wide-column store, a
+//! discrete-event cluster simulator, balls-into-bins placement theory, a
+//! D8tree workload generator and a stage-tracing toolkit).
+//!
+//! This crate is the facade: it re-exports the workspace crates and adds
+//! [`Study`], a single entry point that walks the paper's four-step
+//! methodology (§IV):
+//!
+//! 1. **Scalability analysis** — [`Study::scalability`] runs the data
+//!    models over increasing cluster sizes (Figures 1 and 5).
+//! 2. **Stage definition** — every run is traced through the
+//!    `master-to-slaves → in-queue → in-db → slaves-to-master` stages.
+//! 3. **Bottleneck identification** — [`Study::profile`] returns the
+//!    stage report and an ASCII Figure 4-style Gantt.
+//! 4. **Statistical model** — [`Study::calibrate`] replays the Figure 6/7
+//!    calibration experiments, fits the regressions, and hands back a
+//!    [`kvs_model::SystemModel`] ready for the optimizer and the what-if
+//!    analyses of §VII.
+//!
+//! ```
+//! use kvscale::Study;
+//! use kvscale::workloads::DataModel;
+//!
+//! // A laptop-sized study (the paper uses 1M elements; examples scale up).
+//! let study = Study::new(20_000);
+//! let table = study.scalability(&[DataModel::Fine], &[1, 2, 4]);
+//! assert_eq!(table.cells.len(), 3);
+//! let calibrated = study.calibrate();
+//! let opt = calibrated.optimize(4);
+//! assert!(opt.partitions >= 1);
+//! ```
+
+pub mod methodology;
+pub mod prelude;
+
+pub use methodology::{CalibratedModel, ScalabilityCell, ScalabilityTable, Study};
+
+/// Re-export: balls-into-bins theory, hash ring, replica placement.
+pub use kvs_balance as balance;
+/// Re-export: the distributed master/slave prototype (sim + live).
+pub use kvs_cluster as cluster;
+/// Re-export: the analytical performance model.
+pub use kvs_model as model;
+/// Re-export: the discrete-event simulation substrate.
+pub use kvs_simcore as simcore;
+/// Re-export: stage tracing and bottleneck classification.
+pub use kvs_stages as stages;
+/// Re-export: the wide-column store.
+pub use kvs_store as store;
+/// Re-export: datasets and data models.
+pub use kvs_workloads as workloads;

@@ -1,0 +1,22 @@
+//! One-stop imports for application code.
+//!
+//! ```
+//! use kvscale::prelude::*;
+//!
+//! let model = SystemModel::paper_optimized();
+//! let p = model.predict(1_000.0, 1_000.0, 8);
+//! assert!(p.total_ms() > 0.0);
+//! ```
+
+pub use crate::methodology::{CalibratedModel, ScalabilityCell, ScalabilityTable, Study};
+pub use kvs_balance::{expected_max_load, imbalance_ratio, keymax, HashRing, NodeId};
+pub use kvs_cluster::{
+    run_query, ClusterConfig, ClusterData, Codec, CodecKind, ReplicaPolicy, RunResult,
+};
+pub use kvs_model::{
+    optimize_partitions, DbModel, GcModel, MasterModel, OptimalChoice, Prediction, SystemModel,
+};
+pub use kvs_simcore::{Engine, RngHub, SimDuration, SimTime};
+pub use kvs_stages::{analyze, Bottleneck, Stage, StageReport};
+pub use kvs_store::{Cell, CostModel, PartitionKey, Table, TableOptions};
+pub use kvs_workloads::{D8Tree, DataModel};

@@ -1,0 +1,361 @@
+//! Architecture comparison: master/slave vs sharded masters vs peer-to-peer.
+//!
+//! The paper's opening problem (§I): "deciding when to use a master-slave
+//! or a peer-to-peer approach: a master with a centralised logic is easier
+//! to implement but the capability of a single node might constrain the
+//! performance", and its §VIII observation that GFS "evolved to a more
+//! complex sharding design with multiple masters". This module extends
+//! Formula 2 to those architectures so the model can answer the question
+//! quantitatively.
+
+use crate::system::SystemModel;
+
+/// A dispatch architecture for the distributed query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Architecture {
+    /// One master issues every request (the paper's prototype).
+    SingleMaster,
+    /// `shards` coordinating masters split the key space; each issues its
+    /// share concurrently (the GFS-evolution design of §VIII).
+    ShardedMasters {
+        /// Number of coordinating masters.
+        shards: u64,
+    },
+    /// No master: every client issues its own requests directly to the
+    /// DHT. Issue cost parallelizes over clients, but each client pays a
+    /// per-request coordination overhead (there is no single place that
+    /// "knows all the keys", so lookups/routing cost extra).
+    PeerToPeer {
+        /// Number of concurrent client peers.
+        clients: u64,
+        /// Extra per-message overhead each peer pays vs the tuned master,
+        /// as a multiplier (≥ 1; e.g. 1.5 = 50 % slower per message).
+        overhead_factor: f64,
+    },
+}
+
+/// One architecture's predicted behaviour for a given query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchPrediction {
+    /// The architecture evaluated.
+    pub architecture: Architecture,
+    /// Effective dispatch time, ms (the parallelized Formula 3 term).
+    pub dispatch_ms: f64,
+    /// Slave term (unchanged by the dispatch architecture), ms.
+    pub slave_ms: f64,
+    /// Result-collection term, ms.
+    pub fetch_ms: f64,
+}
+
+impl ArchPrediction {
+    /// The Formula 2 total.
+    pub fn total_ms(&self) -> f64 {
+        self.dispatch_ms.max(self.slave_ms).max(self.fetch_ms)
+    }
+
+    /// True when the dispatch tier is a binding constraint (tolerance for
+    /// the optimizer's dispatch-vs-data equilibrium, as in
+    /// [`crate::limits::MasterLimitPoint::master_bound`]).
+    pub fn dispatch_bound(&self) -> bool {
+        self.dispatch_ms >= self.slave_ms.max(self.fetch_ms) * 0.995
+    }
+}
+
+/// Evaluates an architecture for a query of `keys` partitions of
+/// `cells_per_key` cells on `nodes` data nodes.
+pub fn evaluate(
+    model: &SystemModel,
+    architecture: Architecture,
+    keys: f64,
+    cells_per_key: f64,
+    nodes: u64,
+) -> ArchPrediction {
+    let base = model.predict(keys, cells_per_key, nodes);
+    let (dispatch_ms, fetch_ms) = match architecture {
+        Architecture::SingleMaster => (base.master_ms, base.fetch_ms),
+        Architecture::ShardedMasters { shards } => {
+            let shards = shards.max(1) as f64;
+            // Keys split across masters; the slowest shard carries the
+            // balls-into-bins excess of the key split itself.
+            let share = kvs_balance::formula::keymax(keys, shards.max(1.0) as u64) / keys;
+            (base.master_ms * share, base.fetch_ms * share)
+        }
+        Architecture::PeerToPeer {
+            clients,
+            overhead_factor,
+        } => {
+            let clients = clients.max(1) as f64;
+            let factor = overhead_factor.max(1.0);
+            let share = kvs_balance::formula::keymax(keys, clients.max(1.0) as u64) / keys;
+            (
+                base.master_ms * share * factor,
+                base.fetch_ms * share * factor,
+            )
+        }
+    };
+    ArchPrediction {
+        architecture,
+        dispatch_ms,
+        slave_ms: base.slave_ms,
+        fetch_ms,
+    }
+}
+
+/// The smallest number of dispatch shards (masters or peers) that stops
+/// the dispatch tier from binding for this query, or `None` if one
+/// dispatcher already suffices.
+pub fn shards_to_unbind(
+    model: &SystemModel,
+    keys: f64,
+    cells_per_key: f64,
+    nodes: u64,
+) -> Option<u64> {
+    let single = evaluate(
+        model,
+        Architecture::SingleMaster,
+        keys,
+        cells_per_key,
+        nodes,
+    );
+    if !single.dispatch_bound() {
+        return None;
+    }
+    for shards in 2..=4096u64 {
+        let p = evaluate(
+            model,
+            Architecture::ShardedMasters { shards },
+            keys,
+            cells_per_key,
+            nodes,
+        );
+        if !p.dispatch_bound() {
+            return Some(shards);
+        }
+    }
+    Some(4096)
+}
+
+/// The partition count minimizing an *architecture-specific* prediction —
+/// the key point of the comparison: a sharded or peer-to-peer dispatch tier
+/// can afford far finer partitioning (hence better balance) than one
+/// master.
+pub fn optimize_for_architecture(
+    model: &SystemModel,
+    architecture: Architecture,
+    total_elements: f64,
+    nodes: u64,
+) -> (u64, ArchPrediction) {
+    assert!(total_elements >= 1.0, "empty dataset");
+    let max_parts = total_elements as u64;
+    let eval = |parts: u64| -> f64 {
+        evaluate(
+            model,
+            architecture,
+            parts as f64,
+            total_elements / parts as f64,
+            nodes,
+        )
+        .total_ms()
+    };
+    let mut best = (1u64, eval(1));
+    let steps = 200;
+    let log_max = (max_parts as f64).ln();
+    let mut seen = std::collections::BTreeSet::new();
+    for i in 0..=steps {
+        let parts = ((log_max * i as f64 / steps as f64).exp().round() as u64).clamp(1, max_parts);
+        if seen.insert(parts) {
+            let t = eval(parts);
+            if t < best.1 {
+                best = (parts, t);
+            }
+        }
+    }
+    let window = ((best.0 as f64) * 0.05).ceil() as u64 + 2;
+    for parts in best.0.saturating_sub(window).max(1)..=(best.0 + window).min(max_parts) {
+        let t = eval(parts);
+        if t < best.1 {
+            best = (parts, t);
+        }
+    }
+    let prediction = evaluate(
+        model,
+        architecture,
+        best.0 as f64,
+        total_elements / best.0 as f64,
+        nodes,
+    );
+    (best.0, prediction)
+}
+
+/// Compares the three architectures at each cluster size, each at *its own*
+/// optimal partition count. Returns `(nodes, single, sharded-by-4, p2p)`.
+pub fn architecture_sweep(
+    model: &SystemModel,
+    total_elements: f64,
+    node_counts: &[u64],
+    p2p_overhead: f64,
+) -> Vec<(u64, ArchPrediction, ArchPrediction, ArchPrediction)> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let (_, single) =
+                optimize_for_architecture(model, Architecture::SingleMaster, total_elements, nodes);
+            let (_, sharded) = optimize_for_architecture(
+                model,
+                Architecture::ShardedMasters { shards: 4 },
+                total_elements,
+                nodes,
+            );
+            let (_, p2p) = optimize_for_architecture(
+                model,
+                Architecture::PeerToPeer {
+                    clients: nodes,
+                    overhead_factor: p2p_overhead,
+                },
+                total_elements,
+                nodes,
+            );
+            (nodes, single, sharded, p2p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SystemModel {
+        SystemModel::paper_optimized()
+    }
+
+    #[test]
+    fn single_master_matches_base_prediction() {
+        let m = model();
+        let arch = evaluate(&m, Architecture::SingleMaster, 10_000.0, 100.0, 16);
+        let base = m.predict(10_000.0, 100.0, 16);
+        assert_eq!(arch.dispatch_ms, base.master_ms);
+        assert_eq!(arch.slave_ms, base.slave_ms);
+        assert_eq!(arch.total_ms(), base.total_ms());
+    }
+
+    #[test]
+    fn sharding_relieves_a_bound_master() {
+        let m = SystemModel::paper_slow();
+        // Fine-grained on 16 nodes: master-bound (1.5 s vs ~0.5 s of DB).
+        let single = evaluate(&m, Architecture::SingleMaster, 10_000.0, 100.0, 16);
+        assert!(single.dispatch_bound());
+        let sharded = evaluate(
+            &m,
+            Architecture::ShardedMasters { shards: 8 },
+            10_000.0,
+            100.0,
+            16,
+        );
+        assert!(sharded.total_ms() < single.total_ms());
+        assert!(!sharded.dispatch_bound());
+        // Slave term is architecture-independent.
+        assert_eq!(sharded.slave_ms, single.slave_ms);
+    }
+
+    #[test]
+    fn shard_split_pays_its_own_imbalance() {
+        let m = SystemModel::paper_slow();
+        let sharded = evaluate(
+            &m,
+            Architecture::ShardedMasters { shards: 4 },
+            10_000.0,
+            100.0,
+            16,
+        );
+        let ideal_share =
+            evaluate(&m, Architecture::SingleMaster, 10_000.0, 100.0, 16).dispatch_ms / 4.0;
+        assert!(
+            sharded.dispatch_ms > ideal_share,
+            "sharding can't be perfectly linear: {} vs {}",
+            sharded.dispatch_ms,
+            ideal_share
+        );
+    }
+
+    #[test]
+    fn p2p_scales_dispatch_but_pays_overhead() {
+        let m = SystemModel::paper_slow();
+        let p2p_cheap = evaluate(
+            &m,
+            Architecture::PeerToPeer {
+                clients: 16,
+                overhead_factor: 1.0,
+            },
+            10_000.0,
+            100.0,
+            16,
+        );
+        let p2p_costly = evaluate(
+            &m,
+            Architecture::PeerToPeer {
+                clients: 16,
+                overhead_factor: 3.0,
+            },
+            10_000.0,
+            100.0,
+            16,
+        );
+        assert!(p2p_cheap.dispatch_ms < p2p_costly.dispatch_ms);
+        assert!((p2p_costly.dispatch_ms / p2p_cheap.dispatch_ms - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shards_to_unbind_finds_the_paper_scale() {
+        let m = SystemModel::paper_slow();
+        // Fine-grained, slow master: needs a handful of shards.
+        let shards = shards_to_unbind(&m, 10_000.0, 100.0, 16).expect("master is bound");
+        assert!((2..=16).contains(&shards), "{shards}");
+        // Optimized master on a small cluster: nothing to fix.
+        let m2 = SystemModel::paper_optimized();
+        assert_eq!(shards_to_unbind(&m2, 1_000.0, 1_000.0, 4), None);
+    }
+
+    #[test]
+    fn sweep_orders_architectures_sanely() {
+        let m = SystemModel::paper_slow();
+        let rows = architecture_sweep(&m, 1_000_000.0, &[16, 64], 1.5);
+        for (nodes, single, sharded, p2p) in rows {
+            assert!(
+                sharded.total_ms() <= single.total_ms() + 1e-9,
+                "{nodes}: sharding made things worse"
+            );
+            assert!(
+                p2p.total_ms() <= single.total_ms() * 1.05,
+                "{nodes}: p2p ({}) far worse than single ({})",
+                p2p.total_ms(),
+                single.total_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_unlocks_finer_partitioning_at_scale() {
+        // At 256 nodes the single master caps the partition count; freeing
+        // the dispatch tier lets the optimizer pick more partitions and a
+        // faster query.
+        let m = SystemModel::paper_optimized();
+        let (p_single, single) =
+            optimize_for_architecture(&m, Architecture::SingleMaster, 1_000_000.0, 256);
+        let (p_shard, sharded) = optimize_for_architecture(
+            &m,
+            Architecture::ShardedMasters { shards: 4 },
+            1_000_000.0,
+            256,
+        );
+        assert!(
+            p_shard > p_single,
+            "sharding should allow more partitions: {p_shard} vs {p_single}"
+        );
+        assert!(
+            sharded.total_ms() < single.total_ms() * 0.95,
+            "sharded {} vs single {}",
+            sharded.total_ms(),
+            single.total_ms()
+        );
+    }
+}

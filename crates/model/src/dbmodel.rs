@@ -1,0 +1,202 @@
+//! The database model: Formulas 6, 7 and 8.
+//!
+//! `query_time(s)` is the single-request latency for a row of `s` cells
+//! (piecewise, with the column-index discontinuity); `parallelism(s)` is
+//! the *maximum* throughput speed-up concurrent requests can extract for
+//! that row size; their ratio `DB_model(s)` is the amortized per-request
+//! cost the slave model multiplies by `key_max`.
+
+use crate::regression::{LogLinearFit, PiecewiseFit};
+use kvs_store::cost::{
+    PAPER_BASE_MS, PAPER_INDEXED_BASE_MS, PAPER_INDEXED_PER_CELL_MS, PAPER_INDEX_THRESHOLD_CELLS,
+    PAPER_PER_CELL_MS,
+};
+
+/// A piecewise single-request latency model (Formula 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTimeModel {
+    /// Breakpoint in cells (the column-index threshold).
+    pub threshold_cells: f64,
+    /// Intercept below the threshold, ms.
+    pub base_ms: f64,
+    /// Slope below the threshold, ms/cell.
+    pub per_cell_ms: f64,
+    /// Intercept above the threshold, ms.
+    pub indexed_base_ms: f64,
+    /// Slope above the threshold, ms/cell.
+    pub indexed_per_cell_ms: f64,
+}
+
+impl QueryTimeModel {
+    /// The constants the paper published.
+    pub fn paper() -> Self {
+        QueryTimeModel {
+            threshold_cells: PAPER_INDEX_THRESHOLD_CELLS as f64,
+            base_ms: PAPER_BASE_MS,
+            per_cell_ms: PAPER_PER_CELL_MS,
+            indexed_base_ms: PAPER_INDEXED_BASE_MS,
+            indexed_per_cell_ms: PAPER_INDEXED_PER_CELL_MS,
+        }
+    }
+
+    /// Builds the model from a fitted piecewise regression (the Figure 6
+    /// methodology step on someone else's hardware).
+    pub fn from_fit(fit: &PiecewiseFit) -> Self {
+        QueryTimeModel {
+            threshold_cells: fit.breakpoint,
+            base_ms: fit.below.intercept,
+            per_cell_ms: fit.below.slope,
+            indexed_base_ms: fit.above.intercept,
+            indexed_per_cell_ms: fit.above.slope,
+        }
+    }
+
+    /// Single-request latency for a row of `cells` cells, ms.
+    pub fn query_time_ms(&self, cells: f64) -> f64 {
+        if cells > self.threshold_cells {
+            self.indexed_base_ms + self.indexed_per_cell_ms * cells
+        } else {
+            self.base_ms + self.per_cell_ms * cells
+        }
+    }
+}
+
+/// The parallel speed-up model (Formula 7): `a + b·ln s`, clamped ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelismModel {
+    /// Intercept `a`.
+    pub a: f64,
+    /// Log coefficient `b` (negative: big rows parallelize worse).
+    pub b: f64,
+}
+
+impl ParallelismModel {
+    /// The paper's fit: `12.562 − 1.084·ln s`.
+    pub fn paper() -> Self {
+        ParallelismModel {
+            a: 12.562,
+            b: -1.084,
+        }
+    }
+
+    /// Builds from a fitted log-linear regression (the Figure 7 step).
+    pub fn from_fit(fit: &LogLinearFit) -> Self {
+        ParallelismModel { a: fit.a, b: fit.b }
+    }
+
+    /// Max achievable throughput speed-up for rows of `cells` cells.
+    pub fn speedup(&self, cells: f64) -> f64 {
+        (self.a + self.b * cells.max(1.0).ln()).max(1.0)
+    }
+}
+
+/// Formulas 6 + 7 + 8 together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbModel {
+    /// Single-request latency (Formula 6).
+    pub query_time: QueryTimeModel,
+    /// Parallel speed-up (Formula 7).
+    pub parallelism: ParallelismModel,
+}
+
+impl DbModel {
+    /// The paper's calibration.
+    pub fn paper() -> Self {
+        DbModel {
+            query_time: QueryTimeModel::paper(),
+            parallelism: ParallelismModel::paper(),
+        }
+    }
+
+    /// Formula 8: amortized per-request time at saturation,
+    /// `query_time(s) / parallelism(s)`, ms.
+    pub fn db_model_ms(&self, cells: f64) -> f64 {
+        self.query_time.query_time_ms(cells) / self.parallelism.speedup(cells)
+    }
+
+    /// Per-node throughput ceiling at this row size, requests/second.
+    pub fn node_throughput_rps(&self, cells: f64) -> f64 {
+        1_000.0 / self.db_model_ms(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_querytime_examples() {
+        let m = QueryTimeModel::paper();
+        assert!((m.query_time_ms(250.0) - 10.84).abs() < 0.02);
+        assert!((m.query_time_ms(10_000.0) - 439.77).abs() < 0.1);
+        // Discontinuity at the threshold.
+        let below = m.query_time_ms(1_425.0);
+        let above = m.query_time_ms(1_426.0);
+        assert!(above - below > 6.0);
+    }
+
+    #[test]
+    fn paper_speedup_examples() {
+        let p = ParallelismModel::paper();
+        assert!((p.speedup(100.0) - 7.57).abs() < 0.01);
+        assert!((p.speedup(10_000.0) - 2.58).abs() < 0.01);
+        assert_eq!(p.speedup(1e9), 1.0);
+        assert_eq!(p.speedup(0.0), p.speedup(1.0));
+    }
+
+    #[test]
+    fn db_model_matches_section7_example() {
+        // §VII: "the single request takes 11 milliseconds if we are issuing
+        // 16 queries in parallel per node" for 250-cell rows — i.e.
+        // DB_model(250) ≈ 10.84 / 6.58 ≈ 1.65 ms amortized.
+        let m = DbModel::paper();
+        assert!(
+            (m.db_model_ms(250.0) - 1.65).abs() < 0.03,
+            "{}",
+            m.db_model_ms(250.0)
+        );
+        // 4 000 such rows ⇒ ≈ 6.6 s on one node — the paper rounds to 8 s.
+        let one_node_s = 4_000.0 * m.db_model_ms(250.0) / 1_000.0;
+        assert!((6.0..9.0).contains(&one_node_s), "{one_node_s}");
+    }
+
+    #[test]
+    fn db_model_has_sweet_spot_in_cells() {
+        // Per *element* cost db_model(s)/s should fall with amortization and
+        // then the speed-up decay takes over — the reason the optimizer
+        // lands near ~3 300-cell partitions (§VII).
+        let m = DbModel::paper();
+        let per_element = |s: f64| m.db_model_ms(s) / s;
+        // Analytic optimum of Formulas 6+7 is ≈165 cells/row; both much
+        // smaller and much larger rows cost more per element.
+        assert!(per_element(50.0) > per_element(165.0));
+        assert!(per_element(2_000.0) > per_element(165.0));
+        assert!(per_element(9_000.0) > per_element(165.0));
+    }
+
+    #[test]
+    fn from_fit_roundtrips_paper_constants() {
+        use crate::regression::{fit_loglinear, fit_piecewise};
+        let xs: Vec<f64> = (1..=200).map(|i| i as f64 * 50.0).collect();
+        let qt: Vec<f64> = xs
+            .iter()
+            .map(|&s| QueryTimeModel::paper().query_time_ms(s))
+            .collect();
+        let q = QueryTimeModel::from_fit(&fit_piecewise(&xs, &qt).unwrap());
+        assert!((q.per_cell_ms - 0.0387).abs() < 0.001);
+        let sp: Vec<f64> = xs
+            .iter()
+            .map(|&s| ParallelismModel::paper().speedup(s))
+            .collect();
+        let p = ParallelismModel::from_fit(&fit_loglinear(&xs, &sp).unwrap());
+        assert!((p.b + 1.084).abs() < 0.01);
+        assert!((p.a - 12.562).abs() < 0.05);
+    }
+
+    #[test]
+    fn throughput_is_inverse_of_db_model() {
+        let m = DbModel::paper();
+        let rps = m.node_throughput_rps(250.0);
+        assert!((rps * m.db_model_ms(250.0) - 1_000.0).abs() < 1e-6);
+    }
+}

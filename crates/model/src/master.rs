@@ -1,0 +1,76 @@
+//! The master model: Formula 3 and the result-fetching term of Formula 2.
+//!
+//! In the paper's simple case the master "knows all the keys to visit from
+//! the beginning", so its send phase is just `keys × t_msg`; the receive
+//! phase is symmetric with its own per-message cost.
+
+/// Per-message master costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasterModel {
+    /// End-to-end CPU cost of issuing one request, µs (the paper measured
+    /// 150 µs with default Java serialization, 19 µs after Kryo).
+    pub tx_us_per_msg: f64,
+    /// CPU cost of receiving/deserializing one response, µs.
+    pub rx_us_per_msg: f64,
+}
+
+impl MasterModel {
+    /// The paper's un-optimized master (§V-B).
+    pub fn paper_slow() -> Self {
+        MasterModel {
+            tx_us_per_msg: 150.0,
+            rx_us_per_msg: 30.0,
+        }
+    }
+
+    /// The paper's optimized master (§V-B).
+    pub fn paper_optimized() -> Self {
+        MasterModel {
+            tx_us_per_msg: 19.0,
+            rx_us_per_msg: 6.0,
+        }
+    }
+
+    /// Formula 3: time for the master to issue `keys` requests, ms.
+    pub fn master_speed_ms(&self, keys: f64) -> f64 {
+        keys * self.tx_us_per_msg / 1_000.0
+    }
+
+    /// Result fetching: time to drain `keys` responses, ms.
+    pub fn result_fetching_ms(&self, keys: f64) -> f64 {
+        keys * self.rx_us_per_msg / 1_000.0
+    }
+
+    /// The sustainable issue rate, requests per second.
+    pub fn issue_rate_rps(&self) -> f64 {
+        1e6 / self.tx_us_per_msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_send_times() {
+        // 10 000 messages: 1.5 s slow, 190 ms optimized (§V-B).
+        assert!((MasterModel::paper_slow().master_speed_ms(10_000.0) - 1_500.0).abs() < 1e-9);
+        assert!((MasterModel::paper_optimized().master_speed_ms(10_000.0) - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn issue_rate() {
+        assert!((MasterModel::paper_optimized().issue_rate_rps() - 52_631.58).abs() < 0.1);
+        assert!(
+            MasterModel::paper_slow().issue_rate_rps()
+                < MasterModel::paper_optimized().issue_rate_rps()
+        );
+    }
+
+    #[test]
+    fn fetching_scales_with_keys() {
+        let m = MasterModel::paper_optimized();
+        assert_eq!(m.result_fetching_ms(0.0), 0.0);
+        assert!((m.result_fetching_ms(1_000.0) - 6.0).abs() < 1e-9);
+    }
+}

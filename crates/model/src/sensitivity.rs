@@ -1,0 +1,228 @@
+//! Hardware sensitivity analysis — the paper's closing claim, implemented.
+//!
+//! §IX: "we believe it can be employed when deciding which kind of hardware
+//! and technologies to use when creating a new cluster, as it is possible
+//! to use the formula to predict which hardware characteristics will
+//! influence performance the most."
+//!
+//! [`sensitivities`] computes the *elasticity* of the predicted query time
+//! with respect to each model parameter: `(dT/T) / (dp/p)` — "making the
+//! network serializer 10 % faster buys elasticity×10 % query time". A
+//! parameter with elasticity ≈ 0 is not worth spending money on for this
+//! workload; the biggest elasticity names the component to upgrade.
+
+use crate::system::SystemModel;
+
+/// A tunable hardware/software characteristic of the modelled system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parameter {
+    /// Master per-message send cost (serializer + dispatch CPU).
+    MasterTxPerMessage,
+    /// Master per-message receive cost.
+    MasterRxPerMessage,
+    /// Database fixed per-request cost (Formula 6 intercepts).
+    DbBaseCost,
+    /// Database per-cell cost (Formula 6 slopes — storage/CPU bandwidth).
+    DbPerCellCost,
+    /// Database parallel efficiency (Formula 7 intercept — more cores /
+    /// better concurrency handling).
+    DbParallelism,
+}
+
+impl Parameter {
+    /// All parameters, in report order.
+    pub const ALL: [Parameter; 5] = [
+        Parameter::MasterTxPerMessage,
+        Parameter::MasterRxPerMessage,
+        Parameter::DbBaseCost,
+        Parameter::DbPerCellCost,
+        Parameter::DbParallelism,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Parameter::MasterTxPerMessage => "master tx µs/msg",
+            Parameter::MasterRxPerMessage => "master rx µs/msg",
+            Parameter::DbBaseCost => "DB per-request cost",
+            Parameter::DbPerCellCost => "DB per-cell cost",
+            Parameter::DbParallelism => "DB parallel efficiency",
+        }
+    }
+}
+
+/// One sensitivity row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// The parameter varied.
+    pub parameter: Parameter,
+    /// Elasticity of total query time w.r.t. the parameter:
+    /// `(ΔT/T)/(Δp/p)` for a small perturbation. Positive: increasing the
+    /// cost increases the time; ≈ 0: this workload does not care.
+    pub elasticity: f64,
+}
+
+/// Returns a copy of `model` with `parameter` scaled by `factor`.
+pub fn scaled(model: &SystemModel, parameter: Parameter, factor: f64) -> SystemModel {
+    let mut m = *model;
+    match parameter {
+        Parameter::MasterTxPerMessage => m.master.tx_us_per_msg *= factor,
+        Parameter::MasterRxPerMessage => m.master.rx_us_per_msg *= factor,
+        Parameter::DbBaseCost => {
+            m.db.query_time.base_ms *= factor;
+            m.db.query_time.indexed_base_ms *= factor;
+        }
+        Parameter::DbPerCellCost => {
+            m.db.query_time.per_cell_ms *= factor;
+            m.db.query_time.indexed_per_cell_ms *= factor;
+        }
+        Parameter::DbParallelism => {
+            // Better parallel efficiency = higher speed-up intercept. The
+            // *time* falls as this rises, so the elasticity sign flips
+            // relative to cost parameters; we scale the intercept down for
+            // a "worse hardware" perturbation like the others.
+            m.db.parallelism.a *= factor;
+        }
+    }
+    m
+}
+
+/// Computes the elasticity of the predicted time for a query of `keys`
+/// partitions × `cells_per_key` cells on `nodes` nodes, for every
+/// parameter (central differences with a 1 % perturbation).
+pub fn sensitivities(
+    model: &SystemModel,
+    keys: f64,
+    cells_per_key: f64,
+    nodes: u64,
+) -> Vec<Sensitivity> {
+    let base = model.predict(keys, cells_per_key, nodes).total_ms();
+    assert!(base > 0.0, "degenerate workload");
+    let eps = 0.01;
+    Parameter::ALL
+        .iter()
+        .map(|&parameter| {
+            let up = scaled(model, parameter, 1.0 + eps)
+                .predict(keys, cells_per_key, nodes)
+                .total_ms();
+            let down = scaled(model, parameter, 1.0 - eps)
+                .predict(keys, cells_per_key, nodes)
+                .total_ms();
+            let elasticity = (up - down) / (2.0 * eps * base);
+            Sensitivity {
+                parameter,
+                elasticity,
+            }
+        })
+        .collect()
+}
+
+/// The single parameter with the largest absolute elasticity — "what to
+/// upgrade first".
+pub fn dominant_parameter(
+    model: &SystemModel,
+    keys: f64,
+    cells_per_key: f64,
+    nodes: u64,
+) -> Parameter {
+    sensitivities(model, keys, cells_per_key, nodes)
+        .into_iter()
+        .max_by(|a, b| {
+            a.elasticity
+                .abs()
+                .partial_cmp(&b.elasticity.abs())
+                .expect("finite elasticities")
+        })
+        .expect("non-empty parameter set")
+        .parameter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_bound_workload_is_sensitive_to_tx_cost() {
+        // Fine-grained on a slow master: only the tx cost matters.
+        let m = SystemModel::paper_slow();
+        let dom = dominant_parameter(&m, 10_000.0, 100.0, 16);
+        assert_eq!(dom, Parameter::MasterTxPerMessage);
+        let s = sensitivities(&m, 10_000.0, 100.0, 16);
+        let tx = s
+            .iter()
+            .find(|s| s.parameter == Parameter::MasterTxPerMessage)
+            .unwrap();
+        // Fully master-bound ⇒ elasticity ≈ 1 (time ∝ t_msg).
+        assert!((tx.elasticity - 1.0).abs() < 0.05, "{}", tx.elasticity);
+        // And the DB parameters are ≈ 0.
+        let cell = s
+            .iter()
+            .find(|s| s.parameter == Parameter::DbPerCellCost)
+            .unwrap();
+        assert!(cell.elasticity.abs() < 0.05, "{}", cell.elasticity);
+    }
+
+    #[test]
+    fn db_bound_workload_is_sensitive_to_db_parameters_only() {
+        // Coarse rows on the optimized master: the master is irrelevant;
+        // per-cell cost has elasticity ≈ 1 (time ∝ slope), and parallel
+        // efficiency is the *most* leveraged knob of all — at 10 000-cell
+        // rows the speed-up `12.562 − 1.084·ln s ≈ 2.58` is a small
+        // difference of large terms, so its intercept has elasticity
+        // ≈ −a/speedup ≈ −4.9.
+        let m = SystemModel::paper_optimized();
+        let s = sensitivities(&m, 100.0, 10_000.0, 16);
+        let get = |p: Parameter| s.iter().find(|s| s.parameter == p).unwrap().elasticity;
+        assert!(get(Parameter::MasterTxPerMessage).abs() < 0.01);
+        assert!((get(Parameter::DbPerCellCost) - 1.0).abs() < 0.05);
+        let par = get(Parameter::DbParallelism);
+        assert!((-6.0..-3.5).contains(&par), "{par}");
+        assert_eq!(
+            dominant_parameter(&m, 100.0, 10_000.0, 16),
+            Parameter::DbParallelism
+        );
+    }
+
+    #[test]
+    fn better_parallelism_reduces_time() {
+        let m = SystemModel::paper_optimized();
+        let s = sensitivities(&m, 1_000.0, 1_000.0, 8);
+        let par = s
+            .iter()
+            .find(|s| s.parameter == Parameter::DbParallelism)
+            .unwrap();
+        // Scaling the speed-up intercept *up* reduces time → negative
+        // elasticity.
+        assert!(par.elasticity < -0.1, "{}", par.elasticity);
+    }
+
+    #[test]
+    fn small_row_workloads_feel_the_base_cost() {
+        // 100-cell rows: the 1.163 ms intercept is ~23 % of each request.
+        let m = SystemModel::paper_optimized();
+        let s = sensitivities(&m, 10_000.0, 100.0, 4);
+        let base = s
+            .iter()
+            .find(|s| s.parameter == Parameter::DbBaseCost)
+            .unwrap();
+        let cell = s
+            .iter()
+            .find(|s| s.parameter == Parameter::DbPerCellCost)
+            .unwrap();
+        assert!(base.elasticity > 0.1);
+        assert!(cell.elasticity > base.elasticity, "{s:?}");
+    }
+
+    #[test]
+    fn scaled_roundtrips_at_factor_one() {
+        let m = SystemModel::paper_optimized();
+        for p in Parameter::ALL {
+            let same = scaled(&m, p, 1.0);
+            assert_eq!(
+                same.predict(500.0, 500.0, 4).total_ms(),
+                m.predict(500.0, 500.0, 4).total_ms(),
+                "{p:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Formula 2: the whole-system model.
+//!
+//! `T = max{ master_speed, slave_slowest, result_fetching }`, with the
+//! slowest slave given by the balls-into-bins `key_max` times the amortized
+//! database cost (Formulas 4 and 5).
+
+use crate::dbmodel::DbModel;
+use crate::gc::GcModel;
+use crate::master::MasterModel;
+use kvs_balance::formula::keymax;
+
+/// The composed system model.
+///
+/// ```
+/// use kvs_model::SystemModel;
+///
+/// let model = SystemModel::paper_optimized();
+/// // The paper's fine-grained query: 10 000 keys of 100 cells, 16 nodes.
+/// let p = model.predict(10_000.0, 100.0, 16);
+/// assert_eq!(p.dominant(), "slaves");
+/// assert!(p.total_ms() > p.master_ms);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemModel {
+    /// Master per-message costs (Formula 3).
+    pub master: MasterModel,
+    /// Database model (Formulas 6–8).
+    pub db: DbModel,
+    /// Optional GC correction (the Figure 8 `dbModel+GC` line).
+    pub gc: Option<GcModel>,
+}
+
+/// One prediction, with the full breakdown the paper's analysis uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Number of keys (partitions) the query touches.
+    pub keys: f64,
+    /// Cells per key.
+    pub cells_per_key: f64,
+    /// Cluster size.
+    pub nodes: u64,
+    /// Formula 5: expected keys on the most loaded node.
+    pub keymax: f64,
+    /// Formula 3, ms.
+    pub master_ms: f64,
+    /// Formula 4, ms (includes the GC correction when enabled).
+    pub slave_ms: f64,
+    /// Result fetching, ms.
+    pub fetch_ms: f64,
+}
+
+impl Prediction {
+    /// Formula 2: the predicted query time.
+    pub fn total_ms(&self) -> f64 {
+        self.master_ms.max(self.slave_ms).max(self.fetch_ms)
+    }
+
+    /// Which term dominates.
+    pub fn dominant(&self) -> &'static str {
+        if self.master_ms >= self.slave_ms && self.master_ms >= self.fetch_ms {
+            "master"
+        } else if self.slave_ms >= self.fetch_ms {
+            "slaves"
+        } else {
+            "fetch"
+        }
+    }
+
+    /// The prediction for the same query with a *perfectly balanced*
+    /// workload (keys/n instead of key_max) — the quantity Figure 10's
+    /// decomposition needs.
+    pub fn balanced_slave_ms(&self) -> f64 {
+        if self.keymax == 0.0 {
+            0.0
+        } else {
+            self.slave_ms * (self.keys / self.nodes as f64) / self.keymax
+        }
+    }
+}
+
+impl SystemModel {
+    /// The paper's calibrated model with the optimized master and no GC
+    /// correction (the Figure 8 `dbModel` line).
+    pub fn paper_optimized() -> Self {
+        SystemModel {
+            master: MasterModel::paper_optimized(),
+            db: DbModel::paper(),
+            gc: None,
+        }
+    }
+
+    /// The paper's calibrated model with the slow master.
+    pub fn paper_slow() -> Self {
+        SystemModel {
+            master: MasterModel::paper_slow(),
+            db: DbModel::paper(),
+            gc: None,
+        }
+    }
+
+    /// Adds the GC correction (the `dbModel+GC` line).
+    pub fn with_gc(mut self) -> Self {
+        self.gc = Some(GcModel::paper());
+        self
+    }
+
+    /// Predicts the time of a query reading `keys` partitions of
+    /// `cells_per_key` cells each on a cluster of `nodes`.
+    pub fn predict(&self, keys: f64, cells_per_key: f64, nodes: u64) -> Prediction {
+        assert!(keys >= 0.0 && cells_per_key >= 0.0, "negative workload");
+        assert!(nodes > 0, "need at least one node");
+        let km = keymax(keys, nodes);
+        let mut per_request_ms = self.db.db_model_ms(cells_per_key);
+        if let Some(gc) = &self.gc {
+            per_request_ms +=
+                gc.extra_ms(cells_per_key, self.db.parallelism.speedup(cells_per_key));
+        }
+        Prediction {
+            keys,
+            cells_per_key,
+            nodes,
+            keymax: km,
+            master_ms: self.master.master_speed_ms(keys),
+            slave_ms: km * per_request_ms,
+            fetch_ms: self.master.result_fetching_ms(keys),
+        }
+    }
+
+    /// Predicts a query over `total_elements` split into `keys` equal
+    /// partitions.
+    pub fn predict_for_total(&self, total_elements: f64, keys: f64, nodes: u64) -> Prediction {
+        assert!(keys >= 1.0, "need at least one partition");
+        self.predict(keys, total_elements / keys, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_has_no_imbalance_term() {
+        let m = SystemModel::paper_optimized();
+        let p = m.predict(1_000.0, 1_000.0, 1);
+        assert_eq!(p.keymax, 1_000.0);
+        assert_eq!(p.dominant(), "slaves");
+        // 1 000 × db_model(1 000) = 1 000 × (39.86/5.07) ≈ 7.9 s.
+        assert!((p.total_ms() - 7_866.0).abs() < 100.0, "{}", p.total_ms());
+    }
+
+    #[test]
+    fn slow_master_dominates_fine_grained() {
+        let m = SystemModel::paper_slow();
+        // The paper's fine-grained: 10 000 keys of 100 cells, 16 nodes.
+        let p = m.predict(10_000.0, 100.0, 16);
+        assert_eq!(p.dominant(), "master");
+        assert!((p.master_ms - 1_500.0).abs() < 1e-9);
+        assert!(p.slave_ms < p.master_ms);
+    }
+
+    #[test]
+    fn optimized_master_returns_fine_to_slaves() {
+        let m = SystemModel::paper_optimized();
+        let p = m.predict(10_000.0, 100.0, 16);
+        assert_eq!(p.dominant(), "slaves");
+        assert!((p.master_ms - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_nodes_reduce_slave_time_sublinearly() {
+        let m = SystemModel::paper_optimized();
+        let t1 = m.predict(1_000.0, 1_000.0, 1).slave_ms;
+        let t16 = m.predict(1_000.0, 1_000.0, 16).slave_ms;
+        let speedup = t1 / t16;
+        assert!(speedup > 8.0, "speed-up {speedup}");
+        assert!(speedup < 16.0, "imbalance must cost something: {speedup}");
+    }
+
+    #[test]
+    fn gc_correction_targets_coarse_only() {
+        let plain = SystemModel::paper_optimized();
+        let gc = SystemModel::paper_optimized().with_gc();
+        // Fine-grained barely moves.
+        let f_plain = plain.predict(10_000.0, 100.0, 16).slave_ms;
+        let f_gc = gc.predict(10_000.0, 100.0, 16).slave_ms;
+        assert!((f_gc - f_plain) / f_plain < 0.01);
+        // Coarse-grained visibly corrected upward.
+        let c_plain = plain.predict(100.0, 10_000.0, 16).slave_ms;
+        let c_gc = gc.predict(100.0, 10_000.0, 16).slave_ms;
+        assert!((c_gc - c_plain) / c_plain > 0.05, "{c_plain} → {c_gc}");
+    }
+
+    #[test]
+    fn balanced_slave_removes_the_imbalance_share() {
+        let m = SystemModel::paper_optimized();
+        let p = m.predict(100.0, 10_000.0, 16);
+        let balanced = p.balanced_slave_ms();
+        assert!(balanced < p.slave_ms);
+        // Ratio equals (keys/n)/keymax.
+        let expect = (100.0 / 16.0) / p.keymax;
+        assert!((balanced / p.slave_ms - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_for_total_divides_evenly() {
+        let m = SystemModel::paper_optimized();
+        let p = m.predict_for_total(1_000_000.0, 4_000.0, 8);
+        assert!((p.cells_per_key - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fetch_can_dominate_with_absurd_rx_cost() {
+        let mut m = SystemModel::paper_optimized();
+        m.master.rx_us_per_msg = 10_000.0;
+        let p = m.predict(10_000.0, 1.0, 16);
+        assert_eq!(p.dominant(), "fetch");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = SystemModel::paper_optimized().predict(10.0, 10.0, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Model validation: predicted vs observed (Figure 8).
+//!
+//! "We validated our model by comparing the estimated times with the one we
+//! recorded in our previous tests … The precision of the estimation is
+//! high, especially considering the high variance we observed in the
+//! tests."
+
+use crate::system::SystemModel;
+
+/// One observed experiment to validate against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// A label for reporting (e.g. "medium-grained / 8 nodes").
+    pub label: String,
+    /// Keys the query touched.
+    pub keys: f64,
+    /// Cells per key.
+    pub cells_per_key: f64,
+    /// Cluster size.
+    pub nodes: u64,
+    /// The measured query time, ms.
+    pub observed_ms: f64,
+}
+
+/// One row of the validation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// The observation's label.
+    pub label: String,
+    /// Measured time, ms.
+    pub observed_ms: f64,
+    /// Base-model prediction, ms.
+    pub predicted_ms: f64,
+    /// GC-corrected prediction, ms (the `dbModel+GC` line).
+    pub predicted_gc_ms: f64,
+    /// Relative error of the base model: (pred − obs)/obs.
+    pub error: f64,
+    /// Relative error of the GC-corrected model.
+    pub error_gc: f64,
+}
+
+/// Validates a model against a set of observations.
+pub fn validate(model: &SystemModel, observations: &[Observation]) -> Vec<ValidationRow> {
+    let gc_model = model.with_gc_copy();
+    observations
+        .iter()
+        .map(|o| {
+            let predicted_ms = model.predict(o.keys, o.cells_per_key, o.nodes).total_ms();
+            let predicted_gc_ms = gc_model
+                .predict(o.keys, o.cells_per_key, o.nodes)
+                .total_ms();
+            ValidationRow {
+                label: o.label.clone(),
+                observed_ms: o.observed_ms,
+                predicted_ms,
+                predicted_gc_ms,
+                error: rel_error(predicted_ms, o.observed_ms),
+                error_gc: rel_error(predicted_gc_ms, o.observed_ms),
+            }
+        })
+        .collect()
+}
+
+fn rel_error(predicted: f64, observed: f64) -> f64 {
+    if observed == 0.0 {
+        0.0
+    } else {
+        (predicted - observed) / observed
+    }
+}
+
+/// Mean absolute relative error over a validation table.
+pub fn mean_abs_error(rows: &[ValidationRow], gc: bool) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter()
+        .map(|r| if gc { r.error_gc.abs() } else { r.error.abs() })
+        .sum::<f64>()
+        / rows.len() as f64
+}
+
+impl SystemModel {
+    /// A copy of this model with the GC correction enabled (keeps `self`
+    /// untouched — validation reports both lines side by side).
+    pub fn with_gc_copy(&self) -> SystemModel {
+        let mut copy = *self;
+        copy.gc = Some(crate::gc::GcModel::paper());
+        copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(label: &str, keys: f64, cells: f64, nodes: u64, observed: f64) -> Observation {
+        Observation {
+            label: label.to_string(),
+            keys,
+            cells_per_key: cells,
+            nodes,
+            observed_ms: observed,
+        }
+    }
+
+    #[test]
+    fn perfect_observations_validate_perfectly() {
+        let m = SystemModel::paper_optimized();
+        // Fabricate observations exactly from the model itself.
+        let observations: Vec<Observation> = [(1_000.0, 1_000.0, 4u64), (10_000.0, 100.0, 16)]
+            .iter()
+            .map(|&(k, c, n)| obs("self", k, c, n, m.predict(k, c, n).total_ms()))
+            .collect();
+        let rows = validate(&m, &observations);
+        assert!(mean_abs_error(&rows, false) < 1e-12);
+    }
+
+    #[test]
+    fn gc_line_corrects_coarse_underprediction() {
+        let m = SystemModel::paper_optimized();
+        // Simulate the paper's situation: the real system (with a JVM GC)
+        // ran coarse-grained 15 % slower than the GC-less model predicts.
+        let base = m.predict(100.0, 10_000.0, 16).total_ms();
+        let observed = base * 1.14;
+        let rows = validate(&m, &[obs("coarse/16", 100.0, 10_000.0, 16, observed)]);
+        let row = &rows[0];
+        assert!(row.error < -0.05, "base model should under-predict");
+        assert!(
+            row.error_gc.abs() < row.error.abs(),
+            "GC line should be closer: {} vs {}",
+            row.error_gc,
+            row.error
+        );
+    }
+
+    #[test]
+    fn error_signs_are_meaningful() {
+        let m = SystemModel::paper_optimized();
+        let p = m.predict(1_000.0, 1_000.0, 8).total_ms();
+        let rows = validate(
+            &m,
+            &[
+                obs("slow", 1_000.0, 1_000.0, 8, p * 2.0),
+                obs("fast", 1_000.0, 1_000.0, 8, p * 0.5),
+            ],
+        );
+        assert!(rows[0].error < 0.0, "prediction below observation");
+        assert!(rows[1].error > 0.0, "prediction above observation");
+    }
+
+    #[test]
+    fn empty_validation_is_safe() {
+        assert_eq!(mean_abs_error(&[], false), 0.0);
+        let rows = validate(&SystemModel::paper_optimized(), &[]);
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the analytical model: the regression machinery and
+//! the Formula 2 composition.
+
+use kvs_model::regression::{fit_linear, fit_loglinear, fit_piecewise};
+use kvs_model::{optimize_partitions, SystemModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// OLS recovers an arbitrary noiseless line exactly.
+    #[test]
+    fn linear_fit_is_exact_on_lines(intercept in -1e3f64..1e3, slope in -1e2f64..1e2,
+                                    n in 3usize..80) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let f = fit_linear(&xs, &ys).expect("fit");
+        prop_assert!((f.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+    }
+
+    /// The log-linear fitter recovers arbitrary noiseless log curves.
+    #[test]
+    fn loglinear_fit_is_exact(a in -50.0f64..50.0, b in -10.0f64..10.0) {
+        let xs: Vec<f64> = (1..=60).map(|i| i as f64 * 37.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a + b * x.ln()).collect();
+        let f = fit_loglinear(&xs, &ys).expect("fit");
+        prop_assert!((f.a - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((f.b - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// The piecewise fitter recovers an arbitrary noiseless two-segment
+    /// function: breakpoint within one sample step, segments near-exact.
+    #[test]
+    fn piecewise_fit_recovers_segments(
+        bp_idx in 5usize..55,
+        i1 in -100.0f64..100.0, s1 in 0.01f64..5.0,
+        jump in 1.0f64..50.0, s2 in 0.01f64..5.0,
+    ) {
+        let n = 60usize;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 100.0).collect();
+        let bp = xs[bp_idx] + 50.0;
+        let i2 = i1 + s1 * bp + jump - s2 * bp; // continuity + upward jump at bp
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= bp { i1 + s1 * x } else { i2 + s2 * x })
+            .collect();
+        let f = fit_piecewise(&xs, &ys).expect("fit");
+        prop_assert!((f.breakpoint - bp).abs() <= 150.0,
+            "breakpoint {} vs true {}", f.breakpoint, bp);
+        prop_assert!((f.below.slope - s1).abs() < 0.05 * (1.0 + s1));
+        prop_assert!((f.above.slope - s2).abs() < 0.05 * (1.0 + s2));
+    }
+
+    /// Formula 2 is a max: the total equals one of its components and is
+    /// ≥ all of them.
+    #[test]
+    fn prediction_is_a_max(keys in 1.0f64..100_000.0, cells in 1.0f64..20_000.0,
+                           nodes in 1u64..128) {
+        let m = SystemModel::paper_optimized();
+        let p = m.predict(keys, cells, nodes);
+        let total = p.total_ms();
+        prop_assert!(total >= p.master_ms - 1e-9);
+        prop_assert!(total >= p.slave_ms - 1e-9);
+        prop_assert!(total >= p.fetch_ms - 1e-9);
+        let is_component = (total - p.master_ms).abs() < 1e-9
+            || (total - p.slave_ms).abs() < 1e-9
+            || (total - p.fetch_ms).abs() < 1e-9;
+        prop_assert!(is_component);
+        // The balanced slave bound never exceeds the real one.
+        prop_assert!(p.balanced_slave_ms() <= p.slave_ms + 1e-9);
+    }
+
+    /// More nodes never make the model's prediction worse (for fixed keys
+    /// and cells, only the slave term changes, and key_max/n falls).
+    #[test]
+    fn more_nodes_never_hurt(keys in 10.0f64..50_000.0, cells in 1.0f64..10_000.0,
+                             nodes in 1u64..64) {
+        let m = SystemModel::paper_optimized();
+        let t1 = m.predict(keys, cells, nodes).total_ms();
+        let t2 = m.predict(keys, cells, nodes * 2).total_ms();
+        prop_assert!(t2 <= t1 + 1e-6, "{t2} > {t1}");
+    }
+
+    /// The optimizer's answer is never beaten by random probes.
+    #[test]
+    fn optimizer_dominates_random_probes(total in 1_000.0f64..2_000_000.0,
+                                         nodes in 1u64..64,
+                                         probes in proptest::collection::vec(1u64..100_000, 5)) {
+        let m = SystemModel::paper_optimized();
+        let opt = optimize_partitions(&m, total, nodes);
+        for p in probes {
+            let parts = (p % (total as u64)).max(1);
+            let t = m.predict_for_total(total, parts as f64, nodes).total_ms();
+            // The log-grid search is allowed a hair of slack on the very
+            // flat objective (refinement windows are ±5 %).
+            prop_assert!(opt.total_ms() <= t * 1.0005 + 1e-6,
+                "probe {parts} ({t}) beat the optimizer ({})", opt.total_ms());
+        }
+    }
+
+    /// GC correction is additive and monotone in row size.
+    #[test]
+    fn gc_correction_monotone(keys in 10.0f64..10_000.0, nodes in 1u64..32,
+                              cells in 10.0f64..20_000.0) {
+        let plain = SystemModel::paper_optimized();
+        let gc = plain.with_gc_copy();
+        let a = plain.predict(keys, cells, nodes);
+        let b = gc.predict(keys, cells, nodes);
+        prop_assert!(b.slave_ms >= a.slave_ms - 1e-9);
+        let bigger = gc.predict(keys, cells * 2.0, nodes);
+        prop_assert!(bigger.slave_ms / gc.predict(keys, cells * 2.0, nodes).slave_ms <= 1.0 + 1e-12);
+    }
+}

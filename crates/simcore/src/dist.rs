@@ -1,0 +1,226 @@
+//! Service-time distributions used by the cluster model.
+//!
+//! The paper's database model (§VI-a) is a *mean* latency; real measurements
+//! around it show heavy right tails ("a miss in a cache or a false positive
+//! in a bloom filter can arbitrarily make a request orders of magnitude
+//! slower than average"). [`Dist`] captures the small family of shapes we
+//! need, sampled as plain `f64`s (the caller decides the unit).
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal};
+
+/// A sampleable non-negative distribution over `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// The distribution mean (`1/λ`).
+        mean: f64,
+    },
+    /// Log-normal parameterized by its *mean* and *coefficient of variation*
+    /// (σ/µ) — the natural way to say "this latency has 20 % relative
+    /// spread with a heavy right tail".
+    LogNormalMeanCv {
+        /// Arithmetic mean of the samples.
+        mean: f64,
+        /// Coefficient of variation σ/µ.
+        cv: f64,
+    },
+    /// Mixture: with probability `p_tail` sample `tail`, otherwise `body`.
+    /// Models cache misses / bloom-filter false positives.
+    Mixture {
+        /// The common-case distribution.
+        body: Box<Dist>,
+        /// The slow-path distribution.
+        tail: Box<Dist>,
+        /// Probability of sampling the tail.
+        p_tail: f64,
+    },
+    /// Deterministic shift added to another distribution.
+    Shifted {
+        /// The underlying distribution.
+        base: Box<Dist>,
+        /// The constant added to every sample.
+        offset: f64,
+    },
+}
+
+impl Dist {
+    /// Log-normal via mean/CV; `cv == 0` degenerates to a constant.
+    pub fn lognormal(mean: f64, cv: f64) -> Dist {
+        if cv <= 0.0 {
+            Dist::Constant(mean)
+        } else {
+            Dist::LogNormalMeanCv { mean, cv }
+        }
+    }
+
+    /// A cache-miss style mixture with a log-normal body.
+    pub fn with_tail(self, tail: Dist, p_tail: f64) -> Dist {
+        Dist::Mixture {
+            body: Box::new(self),
+            tail: Box::new(tail),
+            p_tail: p_tail.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The analytic mean of the distribution (used by the model layer, which
+    /// reasons about expectations).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Exponential { mean } => *mean,
+            Dist::LogNormalMeanCv { mean, .. } => *mean,
+            Dist::Mixture { body, tail, p_tail } => {
+                (1.0 - p_tail) * body.mean() + p_tail * tail.mean()
+            }
+            Dist::Shifted { base, offset } => base.mean() + offset,
+        }
+    }
+
+    /// Draws one sample; clamped to be non-negative.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => {
+                if hi > lo {
+                    rng.gen_range(*lo..*hi)
+                } else {
+                    *lo
+                }
+            }
+            Dist::Exponential { mean } => {
+                if *mean <= 0.0 {
+                    0.0
+                } else {
+                    // Exp is parameterized by rate λ = 1/mean.
+                    Exp::new(1.0 / mean).expect("positive rate").sample(rng)
+                }
+            }
+            Dist::LogNormalMeanCv { mean, cv } => sample_lognormal(*mean, *cv, rng),
+            Dist::Mixture { body, tail, p_tail } => {
+                if rng.gen_bool(*p_tail) {
+                    tail.sample(rng)
+                } else {
+                    body.sample(rng)
+                }
+            }
+            Dist::Shifted { base, offset } => base.sample(rng) + offset,
+        };
+        v.max(0.0)
+    }
+}
+
+/// Samples a log-normal given the target arithmetic mean `m` and coefficient
+/// of variation `cv`, by solving for the underlying normal's (µ, σ):
+/// σ² = ln(1 + cv²), µ = ln m − σ²/2.
+fn sample_lognormal<R: Rng + ?Sized>(m: f64, cv: f64, rng: &mut R) -> f64 {
+    if m <= 0.0 {
+        return 0.0;
+    }
+    if cv <= 0.0 {
+        return m;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = m.ln() - sigma2 / 2.0;
+    LogNormal::new(mu, sigma2.sqrt())
+        .expect("finite lognormal params")
+        .sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn empirical_mean(d: &Dist, n: usize) -> f64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(3.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+        assert_eq!(d.mean(), 3.5);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_matches_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&v));
+        }
+        assert!((empirical_mean(&d, 20_000) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::Exponential { mean: 5.0 };
+        assert!((empirical_mean(&d, 50_000) - 5.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn lognormal_mean_cv_converges() {
+        let d = Dist::lognormal(10.0, 0.3);
+        let m = empirical_mean(&d, 50_000);
+        assert!((m - 10.0).abs() < 0.2, "mean drifted: {m}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_constant() {
+        assert_eq!(Dist::lognormal(7.0, 0.0), Dist::Constant(7.0));
+    }
+
+    #[test]
+    fn mixture_mean_is_weighted() {
+        let d = Dist::Constant(1.0).with_tail(Dist::Constant(101.0), 0.01);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        let m = empirical_mean(&d, 100_000);
+        assert!((m - 2.0).abs() < 0.3, "mixture mean drifted: {m}");
+    }
+
+    #[test]
+    fn shifted_adds_offset() {
+        let d = Dist::Shifted {
+            base: Box::new(Dist::Constant(1.0)),
+            offset: 2.0,
+        };
+        assert_eq!(d.mean(), 3.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(d.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn samples_are_never_negative() {
+        let d = Dist::Shifted {
+            base: Box::new(Dist::Constant(1.0)),
+            offset: -5.0,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(d.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn degenerate_params_do_not_panic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert_eq!(Dist::Uniform { lo: 1.0, hi: 1.0 }.sample(&mut rng), 1.0);
+        assert_eq!(Dist::Exponential { mean: 0.0 }.sample(&mut rng), 0.0);
+        assert_eq!(Dist::lognormal(0.0, 0.5).sample(&mut rng), 0.0);
+    }
+}

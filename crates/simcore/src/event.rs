@@ -1,0 +1,77 @@
+//! Event-heap plumbing: scheduled callbacks ordered by (time, sequence).
+//!
+//! Events firing at the same instant run in scheduling order (FIFO), which
+//! keeps simulations deterministic regardless of heap internals.
+
+use crate::engine::Engine;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// Opaque handle identifying a scheduled event; can be used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+/// The callback type fired by the engine. It receives the engine so it can
+/// schedule follow-up events.
+pub type Callback = Box<dyn FnOnce(&mut Engine)>;
+
+pub(crate) struct ScheduledEvent {
+    pub(crate) at: SimTime,
+    pub(crate) id: EventId,
+    pub(crate) callback: Option<Callback>,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event;
+    /// ties break on the sequence id, giving FIFO order at equal instants.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, id: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            at: SimTime::from_nanos(at_ns),
+            id: EventId(id),
+            callback: None,
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(ev(30, 0));
+        heap.push(ev(10, 1));
+        heap.push(ev(20, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.at.as_nanos())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo_by_id() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(ev(10, 5));
+        heap.push(ev(10, 1));
+        heap.push(ev(10, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.id.0)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+}

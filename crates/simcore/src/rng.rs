@@ -1,0 +1,140 @@
+//! Deterministic, named random-number streams.
+//!
+//! Every stochastic component of the simulation (network jitter, DB service
+//! noise, workload placement, …) draws from its own stream derived from a
+//! single master seed and a stable label. This gives two properties the
+//! experiments rely on:
+//!
+//! 1. **Reproducibility** — rerunning a figure binary yields bit-identical
+//!    output.
+//! 2. **Variance isolation** — adding draws to one component does not shift
+//!    the random sequence seen by any other, so A/B comparisons (e.g. slow
+//!    vs optimized master) differ only where the model differs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Factory for deterministic per-component RNG streams.
+#[derive(Debug, Clone)]
+pub struct RngHub {
+    master_seed: u64,
+}
+
+impl RngHub {
+    /// Creates a hub from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngHub { master_seed }
+    }
+
+    /// The master seed this hub derives all streams from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Returns the RNG for the stream identified by `label`.
+    ///
+    /// Same `(master_seed, label)` → same sequence, always.
+    pub fn stream(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(mix(self.master_seed, fnv1a(label.as_bytes())))
+    }
+
+    /// Returns the RNG for a `(label, index)` pair — convenient for per-node
+    /// or per-trial streams.
+    pub fn stream_indexed(&self, label: &str, index: u64) -> StdRng {
+        StdRng::seed_from_u64(mix(
+            self.master_seed,
+            mix(fnv1a(label.as_bytes()), index.wrapping_add(0x9E37_79B9)),
+        ))
+    }
+
+    /// Derives a child hub, for nesting experiments inside experiments.
+    pub fn child(&self, label: &str) -> RngHub {
+        RngHub {
+            master_seed: mix(self.master_seed, fnv1a(label.as_bytes())),
+        }
+    }
+}
+
+/// FNV-1a over bytes: stable, cheap label hashing (we only need dispersion,
+/// not collision resistance).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer over the xor of two hashes — avalanches every bit so
+/// related labels do not produce correlated seeds.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_sequence() {
+        let hub = RngHub::new(42);
+        let a: Vec<u32> = hub
+            .stream("net")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = hub
+            .stream("net")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let hub = RngHub::new(42);
+        let a: u64 = hub.stream("net").gen();
+        let b: u64 = hub.stream("db").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = RngHub::new(1).stream("x").gen();
+        let b: u64 = RngHub::new(2).stream("x").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indexed_streams_are_independent() {
+        let hub = RngHub::new(7);
+        let a: u64 = hub.stream_indexed("node", 0).gen();
+        let b: u64 = hub.stream_indexed("node", 1).gen();
+        assert_ne!(a, b);
+        let a2: u64 = hub.stream_indexed("node", 0).gen();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn child_hubs_are_stable_and_distinct() {
+        let hub = RngHub::new(7);
+        assert_eq!(hub.child("t").master_seed(), hub.child("t").master_seed());
+        assert_ne!(hub.child("t").master_seed(), hub.child("u").master_seed());
+        assert_ne!(hub.child("t").master_seed(), hub.master_seed());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Guard against accidental algorithm changes: these values pin the
+        // seed derivation, and with it every figure's exact output.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,408 @@
+//! Online statistics: Welford moments, percentile summaries and log-scale
+//! histograms.
+//!
+//! These are the primitives the methodology layer (`kvs-stages`,
+//! `kvs-model`) uses to condense thousands of per-request timings into the
+//! few numbers the paper plots.
+
+/// Numerically stable running moments (Welford's algorithm) plus min/max.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation σ/µ (0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// A five-number-plus summary computed from a full sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty sample.
+    pub fn from_samples(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let stats = OnlineStats::from_slice(values);
+        Some(Summary {
+            count: values.len(),
+            mean: stats.mean(),
+            std_dev: stats.sample_variance().sqrt(),
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 0.50),
+            p90: percentile_sorted(&sorted, 0.90),
+            p99: percentile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice, `q ∈ [0,1]`.
+///
+/// # Panics
+/// If `sorted` is empty.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A histogram with logarithmically spaced buckets, suitable for latency
+/// distributions spanning several orders of magnitude (Figure 3 of the paper
+/// uses a plain count histogram, which is the `bucket_width = 1` case of
+/// [`Histogram::linear`]).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Bucket lower edges, ascending. `counts[i]` counts values in
+    /// `[edges[i], edges[i+1])`; the last bucket is open-ended.
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Log-spaced buckets from `min` decades up, `per_decade` buckets per
+    /// factor of 10, covering `decades` decades.
+    pub fn log(min: f64, per_decade: usize, decades: usize) -> Self {
+        assert!(min > 0.0 && per_decade > 0 && decades > 0);
+        let n = per_decade * decades;
+        let edges: Vec<f64> = (0..=n)
+            .map(|i| min * 10f64.powf(i as f64 / per_decade as f64))
+            .collect();
+        let buckets = edges.len();
+        Histogram {
+            edges,
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Linear buckets `[lo + i·width, lo + (i+1)·width)`.
+    pub fn linear(lo: f64, width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0 && buckets > 0);
+        let edges: Vec<f64> = (0..=buckets).map(|i| lo + i as f64 * width).collect();
+        let n = edges.len();
+        Histogram {
+            edges,
+            counts: vec![0; n],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        if v < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        // Binary search for the bucket whose lower edge is ≤ v.
+        let idx = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&v).expect("NaN edge"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let last = self.counts.len() - 1;
+        self.counts[idx.min(last)] += 1;
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Values below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Iterates `(lower_edge, count)` over non-empty buckets.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.edges
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&e, &c)| (e, c))
+    }
+
+    /// The bucket lower edge holding the `q`-quantile, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cum = self.underflow;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target.max(1) {
+                return Some(self.edges[i]);
+            }
+        }
+        Some(*self.edges.last().expect("histogram has edges"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = OnlineStats::from_slice(&xs);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut left = OnlineStats::from_slice(&a);
+        let right = OnlineStats::from_slice(&b);
+        left.merge(&right);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let whole = OnlineStats::from_slice(&all);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::from_slice(&[1.0, 2.0]);
+        let before = s.clone();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 40.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 25.0);
+        assert!((percentile_sorted(&sorted, 0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_end_to_end() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::from_samples(&values).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.p50 - 50.5).abs() < 1e-12);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn linear_histogram_buckets() {
+        let mut h = Histogram::linear(0.0, 1.0, 10);
+        for v in [0.5, 1.5, 1.7, 9.5, 42.0, -1.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.underflow(), 1);
+        let buckets: Vec<(f64, u64)> = h.nonempty_buckets().collect();
+        assert!(buckets.contains(&(0.0, 1)));
+        assert!(buckets.contains(&(1.0, 2)));
+        assert!(buckets.contains(&(9.0, 1)));
+        // 42.0 lands in the open-ended last bucket.
+        assert!(buckets.iter().any(|&(e, _)| e == 10.0));
+    }
+
+    #[test]
+    fn log_histogram_spans_decades() {
+        let mut h = Histogram::log(0.001, 4, 6);
+        for v in [0.001, 0.01, 0.1, 1.0, 10.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.nonempty_buckets().count(), 6);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::linear(0.0, 1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        assert!((49.0..=51.0).contains(&q50), "{q50}");
+        assert_eq!(Histogram::linear(0.0, 1.0, 2).quantile(0.5), None);
+    }
+}

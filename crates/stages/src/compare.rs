@@ -1,0 +1,191 @@
+//! Before/after comparison of two stage reports — the §V-B loop.
+//!
+//! The paper's methodology is iterative: profile, identify the bottleneck,
+//! fix it, profile again. Figure 1 → Figure 5 *is* such a comparison (slow
+//! vs optimized master). [`compare`] condenses two reports into per-stage
+//! deltas so the "did my fix move the right number?" question has a
+//! first-class answer.
+
+use crate::analysis::StageReport;
+use crate::stage::Stage;
+
+/// The delta of one stage between two runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageDelta {
+    /// Which stage.
+    pub stage: Stage,
+    /// Mean stage time before, ms.
+    pub before_ms: f64,
+    /// Mean stage time after, ms.
+    pub after_ms: f64,
+}
+
+impl StageDelta {
+    /// Relative change: (after − before) / before; 0 when before is 0.
+    pub fn relative_change(&self) -> f64 {
+        if self.before_ms == 0.0 {
+            0.0
+        } else {
+            (self.after_ms - self.before_ms) / self.before_ms
+        }
+    }
+}
+
+/// The full before/after comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-stage mean deltas, in pipeline order.
+    pub stages: Vec<StageDelta>,
+    /// Makespan before, ms.
+    pub makespan_before_ms: f64,
+    /// Makespan after, ms.
+    pub makespan_after_ms: f64,
+}
+
+impl Comparison {
+    /// End-to-end speed-up factor (before / after).
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_after_ms == 0.0 {
+            1.0
+        } else {
+            self.makespan_before_ms / self.makespan_after_ms
+        }
+    }
+
+    /// The stage whose mean improved the most, in absolute ms (`None` when
+    /// nothing improved).
+    pub fn biggest_win(&self) -> Option<StageDelta> {
+        self.stages
+            .iter()
+            .copied()
+            .filter(|d| d.after_ms < d.before_ms)
+            .max_by(|a, b| {
+                (a.before_ms - a.after_ms)
+                    .partial_cmp(&(b.before_ms - b.after_ms))
+                    .expect("finite deltas")
+            })
+    }
+
+    /// Renders a compact text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>18} {:>12} {:>12} {:>9}",
+            "stage", "before (ms)", "after (ms)", "change"
+        );
+        for d in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:>18} {:>12.3} {:>12.3} {:>+8.0}%",
+                d.stage.name(),
+                d.before_ms,
+                d.after_ms,
+                d.relative_change() * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>18} {:>12.1} {:>12.1}   ({:.2}× speed-up)",
+            "makespan",
+            self.makespan_before_ms,
+            self.makespan_after_ms,
+            self.speedup()
+        );
+        out
+    }
+}
+
+/// Compares two runs' reports stage by stage.
+pub fn compare(before: &StageReport, after: &StageReport) -> Comparison {
+    let stages = Stage::ALL
+        .iter()
+        .map(|&stage| StageDelta {
+            stage,
+            before_ms: before
+                .per_stage_ms
+                .get(&stage)
+                .map(|s| s.mean())
+                .unwrap_or(0.0),
+            after_ms: after
+                .per_stage_ms
+                .get(&stage)
+                .map(|s| s.mean())
+                .unwrap_or(0.0),
+        })
+        .collect();
+    Comparison {
+        stages,
+        makespan_before_ms: before.makespan.as_millis_f64(),
+        makespan_after_ms: after.makespan.as_millis_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::trace::TraceRecorder;
+    use kvs_simcore::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    /// One request: m2s takes `send` ms, db takes 10 ms.
+    fn report(send: u64) -> StageReport {
+        let mut rec = TraceRecorder::new();
+        rec.begin(0, 0, 10);
+        rec.record(0, Stage::MasterToSlave, t(0), t(send));
+        rec.record(0, Stage::InQueue, t(send), t(send + 1));
+        rec.record(0, Stage::InDb, t(send + 1), t(send + 11));
+        rec.record(0, Stage::SlaveToMaster, t(send + 11), t(send + 12));
+        analyze(&rec.into_traces())
+    }
+
+    #[test]
+    fn compare_detects_the_master_fix() {
+        let before = report(150);
+        let after = report(19);
+        let cmp = compare(&before, &after);
+        let m2s = cmp
+            .stages
+            .iter()
+            .find(|d| d.stage == Stage::MasterToSlave)
+            .unwrap();
+        assert_eq!(m2s.before_ms, 150.0);
+        assert_eq!(m2s.after_ms, 19.0);
+        assert!((m2s.relative_change() + 0.873).abs() < 0.01);
+        // Other stages unchanged.
+        let db = cmp.stages.iter().find(|d| d.stage == Stage::InDb).unwrap();
+        assert_eq!(db.relative_change(), 0.0);
+        assert_eq!(cmp.biggest_win().unwrap().stage, Stage::MasterToSlave);
+        assert!((cmp.speedup() - 162.0 / 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_shows_all_rows() {
+        let cmp = compare(&report(100), &report(10));
+        let text = cmp.render();
+        for stage in Stage::ALL {
+            assert!(text.contains(stage.name()));
+        }
+        assert!(text.contains("speed-up"));
+    }
+
+    #[test]
+    fn regressions_have_no_win() {
+        let cmp = compare(&report(10), &report(100));
+        assert!(cmp.biggest_win().is_none());
+        assert!(cmp.speedup() < 1.0);
+    }
+
+    #[test]
+    fn empty_reports_compare_safely() {
+        let empty = analyze(&[]);
+        let cmp = compare(&empty, &empty);
+        assert_eq!(cmp.speedup(), 1.0);
+        assert!(cmp.biggest_win().is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Trace export — the raw material Aeneas stored for offline analysis.
+//!
+//! Traces serialize to a simple CSV (one row per request per stage) that
+//! any plotting tool can ingest, and parse back for replay, so experiment
+//! results can be archived and re-analyzed without rerunning.
+
+use crate::stage::Stage;
+use crate::trace::{RequestTrace, TraceRecorder};
+use kvs_simcore::SimTime;
+
+/// Serializes traces as CSV: `request_id,node,cells,stage,start_ns,end_ns`.
+pub fn to_csv(traces: &[RequestTrace]) -> String {
+    let mut out = String::from("request_id,node,cells,stage,start_ns,end_ns\n");
+    for trace in traces {
+        for stage in Stage::ALL {
+            if let Some(span) = trace.spans[stage.index()] {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{}\n",
+                    trace.request_id,
+                    trace.node,
+                    trace.cells,
+                    stage.name(),
+                    span.start.as_nanos(),
+                    span.end.as_nanos()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses [`to_csv`] output back into traces. Returns `None` on any
+/// malformed row (a damaged archive should fail loudly, not half-load).
+pub fn from_csv(csv: &str) -> Option<Vec<RequestTrace>> {
+    let mut lines = csv.lines();
+    let header = lines.next()?;
+    if header != "request_id,node,cells,stage,start_ns,end_ns" {
+        return None;
+    }
+    let mut rec = TraceRecorder::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return None;
+        }
+        let request_id: u64 = fields[0].parse().ok()?;
+        let node: u32 = fields[1].parse().ok()?;
+        let cells: u64 = fields[2].parse().ok()?;
+        let stage = Stage::ALL.into_iter().find(|s| s.name() == fields[3])?;
+        let start: u64 = fields[4].parse().ok()?;
+        let end: u64 = fields[5].parse().ok()?;
+        if end < start {
+            return None;
+        }
+        rec.begin(request_id, node, cells);
+        rec.record(
+            request_id,
+            stage,
+            SimTime::from_nanos(start),
+            SimTime::from_nanos(end),
+        );
+    }
+    Some(rec.into_traces())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn sample() -> Vec<RequestTrace> {
+        let mut rec = TraceRecorder::new();
+        for id in 0..5u64 {
+            rec.begin(id, (id % 2) as u32, 10 + id);
+            rec.record(id, Stage::MasterToSlave, t(0), t(1 + id));
+            rec.record(id, Stage::InQueue, t(1 + id), t(2 + id));
+            rec.record(id, Stage::InDb, t(2 + id), t(12 + id));
+            rec.record(id, Stage::SlaveToMaster, t(12 + id), t(13 + id));
+        }
+        rec.into_traces()
+    }
+
+    #[test]
+    fn csv_roundtrips() {
+        let traces = sample();
+        let csv = to_csv(&traces);
+        let back = from_csv(&csv).expect("roundtrip");
+        assert_eq!(back.len(), traces.len());
+        for (a, b) in traces.iter().zip(&back) {
+            assert_eq!(a.request_id, b.request_id);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.cells, b.cells);
+            for stage in Stage::ALL {
+                assert_eq!(
+                    a.spans[stage.index()],
+                    b.spans[stage.index()],
+                    "request {} stage {stage}",
+                    a.request_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_traces_roundtrip() {
+        let mut rec = TraceRecorder::new();
+        rec.begin(7, 3, 42);
+        rec.record(7, Stage::InDb, t(5), t(15));
+        let traces = rec.into_traces();
+        let back = from_csv(&to_csv(&traces)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back[0].spans[Stage::InDb.index()].is_some());
+        assert!(back[0].spans[Stage::InQueue.index()].is_none());
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let good = to_csv(&sample());
+        assert!(from_csv("nonsense\n1,2,3").is_none());
+        assert!(from_csv(&good.replace("in-db", "in-flight")).is_none());
+        let truncated: String =
+            good.lines().take(2).collect::<Vec<_>>().join("\n") + "\n1,2,3,in-db,99";
+        assert!(from_csv(&truncated).is_none());
+        // Reversed span.
+        let bad_span = "request_id,node,cells,stage,start_ns,end_ns\n0,0,1,in-db,100,50\n";
+        assert!(from_csv(bad_span).is_none());
+    }
+
+    #[test]
+    fn empty_trace_set_roundtrips() {
+        let csv = to_csv(&[]);
+        assert_eq!(from_csv(&csv).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn analysis_agrees_after_roundtrip() {
+        use crate::analysis::analyze;
+        let traces = sample();
+        let a = analyze(&traces);
+        let b = analyze(&from_csv(&to_csv(&traces)).unwrap());
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.requests_per_node, b.requests_per_node);
+    }
+}

@@ -1,0 +1,157 @@
+//! Text rendering of the Figure 4 stage profile.
+//!
+//! The paper plots, per node and per stage, one horizontal segment per
+//! request; congestion shows up as dense ink and starvation as white holes.
+//! Terminals don't do 10 000 segments, so we render occupancy instead: for
+//! each (node, stage) row, time is split into fixed buckets and each bucket
+//! shows how many requests were inside that stage, using a density ramp
+//! `· ▁ ▂ ▃ ▄ ▅ ▆ ▇ █`.
+
+use crate::stage::Stage;
+use crate::trace::RequestTrace;
+use kvs_simcore::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const RAMP: [char; 10] = [' ', '·', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Number of time buckets (columns).
+    pub width: usize,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions { width: 72 }
+    }
+}
+
+/// Renders the per-(node, stage) occupancy profile as text. Returns an
+/// empty string for an empty run.
+pub fn render(traces: &[RequestTrace], opts: GanttOptions) -> String {
+    let width = opts.width.max(8);
+    let (Some(start), Some(end)) = (
+        traces.iter().filter_map(|t| t.issued_at()).min(),
+        traces.iter().filter_map(|t| t.completed_at()).max(),
+    ) else {
+        return String::new();
+    };
+    let span_ns = (end - start).as_nanos().max(1);
+
+    // occupancy[(node, stage)][bucket] = concurrent requests.
+    let mut occupancy: BTreeMap<(u32, Stage), Vec<u32>> = BTreeMap::new();
+    let bucket_of = |t: SimTime| -> usize {
+        let off = (t - start).as_nanos();
+        (((off as u128 * width as u128) / span_ns as u128) as usize).min(width - 1)
+    };
+    for trace in traces {
+        for stage in Stage::ALL {
+            if let Some(span) = trace.spans[stage.index()] {
+                let row = occupancy
+                    .entry((trace.node, stage))
+                    .or_insert_with(|| vec![0; width]);
+                let (b0, b1) = (bucket_of(span.start), bucket_of(span.end));
+                for cell in &mut row[b0..=b1] {
+                    *cell += 1;
+                }
+            }
+        }
+    }
+    let peak = occupancy
+        .values()
+        .flat_map(|row| row.iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    let mut out = String::new();
+    let total_ms = (end - start).as_millis_f64();
+    let _ = writeln!(
+        out,
+        "stage profile — {total_ms:.1} ms total, {} requests",
+        traces.len()
+    );
+    let mut current_node: Option<u32> = None;
+    for ((node, stage), row) in &occupancy {
+        if current_node != Some(*node) {
+            let _ = writeln!(out, "node {node}");
+            current_node = Some(*node);
+        }
+        let mut line = String::with_capacity(width);
+        for &c in row {
+            let idx = if c == 0 {
+                0
+            } else {
+                // Map 1..=peak onto ramp levels 1..=9.
+                1 + ((c - 1) as usize * (RAMP.len() - 2)) / peak as usize
+            };
+            line.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+        let _ = writeln!(out, "  {:>17} |{}|", stage.name(), line);
+    }
+    let _ = writeln!(out, "  (density: blank=idle, ·=1 … █={peak} concurrent)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecorder;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn sample_traces() -> Vec<RequestTrace> {
+        let mut rec = TraceRecorder::new();
+        for id in 0..4u64 {
+            let node = (id % 2) as u32;
+            rec.begin(id, node, 10);
+            rec.record(id, Stage::MasterToSlave, t(id * 10), t(id * 10 + 2));
+            rec.record(id, Stage::InQueue, t(id * 10 + 2), t(id * 10 + 4));
+            rec.record(id, Stage::InDb, t(id * 10 + 4), t(id * 10 + 9));
+            rec.record(id, Stage::SlaveToMaster, t(id * 10 + 9), t(id * 10 + 10));
+        }
+        rec.into_traces()
+    }
+
+    #[test]
+    fn renders_all_nodes_and_stages() {
+        let text = render(&sample_traces(), GanttOptions::default());
+        assert!(text.contains("node 0"));
+        assert!(text.contains("node 1"));
+        for stage in Stage::ALL {
+            assert!(text.contains(stage.name()), "missing {stage}");
+        }
+        assert!(text.contains("4 requests"));
+    }
+
+    #[test]
+    fn empty_input_renders_empty() {
+        assert_eq!(render(&[], GanttOptions::default()), "");
+    }
+
+    #[test]
+    fn busy_buckets_are_inked() {
+        let text = render(&sample_traces(), GanttOptions { width: 40 });
+        // Every rendered row must contain at least one non-blank cell.
+        for line in text.lines().filter(|l| l.contains('|')) {
+            let body: String = line.split('|').nth(1).expect("row body").to_string();
+            assert!(
+                body.chars().any(|c| c != ' '),
+                "row is entirely idle: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let text = render(&sample_traces(), GanttOptions { width: 20 });
+        for line in text.lines().filter(|l| l.contains('|')) {
+            let body = line.split('|').nth(1).expect("row body");
+            assert_eq!(body.chars().count(), 20, "line: {line}");
+        }
+    }
+}

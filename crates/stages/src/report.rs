@@ -1,0 +1,140 @@
+//! Formatted text rendering of a [`StageReport`].
+//!
+//! The figures' binaries and the examples all want the same two tables —
+//! per-stage timing summaries and per-node load/finish lines — so they live
+//! here once, next to the analysis that produces them.
+
+use crate::analysis::StageReport;
+use crate::stage::Stage;
+use std::fmt::Write as _;
+
+/// Renders the per-stage summary table (mean/max/total per stage).
+pub fn render_stage_table(report: &StageReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>18} {:>9} {:>12} {:>12} {:>14}",
+        "stage", "requests", "mean (ms)", "max (ms)", "total (ms)"
+    );
+    for stage in Stage::ALL {
+        if let Some(stats) = report.per_stage_ms.get(&stage) {
+            let _ = writeln!(
+                out,
+                "{:>18} {:>9} {:>12.3} {:>12.3} {:>14.1}",
+                stage.name(),
+                stats.count(),
+                stats.mean(),
+                stats.max(),
+                stats.sum()
+            );
+        }
+    }
+    out
+}
+
+/// Renders the per-node table: requests served, last-finish instant, and a
+/// proportional load bar.
+pub fn render_node_table(report: &StageReport) -> String {
+    let mut out = String::new();
+    let max_requests = report
+        .requests_per_node
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let _ = writeln!(
+        out,
+        "{:>6} {:>9} {:>12}  load",
+        "node", "requests", "finish (ms)"
+    );
+    for (&node, &count) in &report.requests_per_node {
+        let finish = report.node_finish_ms.get(&node).copied().unwrap_or(0.0);
+        let bar_len = ((count as f64 / max_requests as f64) * 30.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9} {:>12.1}  {}",
+            node,
+            count,
+            finish,
+            "#".repeat(bar_len)
+        );
+    }
+    out
+}
+
+/// One-paragraph plain-language summary: makespan, issue span, bottleneck.
+pub fn render_summary(report: &StageReport) -> String {
+    format!(
+        "{} requests in {:.1} ms (master issued for {:.1} ms, DB idle gap {:.1} ms) — bottleneck: {:?}",
+        report.requests,
+        report.makespan.as_millis_f64(),
+        report.issue_span_ms,
+        report.db_idle_gap_ms,
+        report.bottleneck
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::trace::TraceRecorder;
+    use kvs_simcore::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn sample_report() -> StageReport {
+        let mut rec = TraceRecorder::new();
+        for id in 0..6u64 {
+            let node = (id % 2) as u32;
+            rec.begin(id, node, 10);
+            rec.record(id, Stage::MasterToSlave, t(0), t(1 + id));
+            rec.record(id, Stage::InQueue, t(1 + id), t(2 + id));
+            rec.record(id, Stage::InDb, t(2 + id), t(10 + id));
+            rec.record(id, Stage::SlaveToMaster, t(10 + id), t(11 + id));
+        }
+        analyze(&rec.into_traces())
+    }
+
+    #[test]
+    fn stage_table_lists_all_stages() {
+        let text = render_stage_table(&sample_report());
+        for stage in Stage::ALL {
+            assert!(text.contains(stage.name()), "missing {stage}");
+        }
+        assert!(text.contains("mean (ms)"));
+    }
+
+    #[test]
+    fn node_table_shows_counts_and_bars() {
+        let text = render_node_table(&sample_report());
+        assert!(text.contains("node"));
+        // Both nodes served 3 requests → equal full-length bars.
+        let bars: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert_eq!(bars.len(), 2);
+        assert_eq!(bars[0], bars[1]);
+        assert!(bars[0] > 0);
+    }
+
+    #[test]
+    fn summary_mentions_the_bottleneck() {
+        let text = render_summary(&sample_report());
+        assert!(text.contains("6 requests"));
+        assert!(text.contains("bottleneck"));
+    }
+
+    #[test]
+    fn empty_report_renders_safely() {
+        let report = analyze(&[]);
+        assert!(!render_stage_table(&report).is_empty());
+        assert!(render_node_table(&report).contains("node"));
+        assert!(render_summary(&report).contains("0 requests"));
+    }
+}

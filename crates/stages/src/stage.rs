@@ -1,0 +1,72 @@
+//! The four request stages of the paper's methodology.
+
+use std::fmt;
+
+/// A phase of a distributed sub-query's life cycle (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Master issues the request → the slave receives it. Includes the
+    /// master's per-message CPU (serialization!) and the network transit.
+    MasterToSlave,
+    /// The request waits at the slave for a free database slot.
+    InQueue,
+    /// The database executes the read.
+    InDb,
+    /// The partial result travels back to the master (serialization +
+    /// network + the master's receive processing).
+    SlaveToMaster,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 4] = [
+        Stage::MasterToSlave,
+        Stage::InQueue,
+        Stage::InDb,
+        Stage::SlaveToMaster,
+    ];
+
+    /// The stage's index in pipeline order.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::MasterToSlave => 0,
+            Stage::InQueue => 1,
+            Stage::InDb => 2,
+            Stage::SlaveToMaster => 3,
+        }
+    }
+
+    /// The paper's name for the stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::MasterToSlave => "master-to-slaves",
+            Stage::InQueue => "in-queue",
+            Stage::InDb => "in-db",
+            Stage::SlaveToMaster => "slaves-to-master",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_pipeline_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Stage::MasterToSlave.to_string(), "master-to-slaves");
+        assert_eq!(Stage::InDb.name(), "in-db");
+    }
+}

@@ -1,0 +1,164 @@
+//! A classic Bloom filter, used per SSTable to skip runs that cannot
+//! contain a partition key.
+//!
+//! Cassandra keeps one bloom filter per SSTable for exactly this purpose;
+//! the paper's database model (§VI-a) names bloom-filter false positives as
+//! one source of the latency variance the mixture distributions capture.
+
+/// A fixed-size Bloom filter with `k` double-hashed probe positions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    /// Number of bits (`m`).
+    m: u64,
+    /// Number of probes per key (`k`).
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `expected_items` at the given target false
+    /// positive rate, using the standard `m = −n·ln p / ln² 2`,
+    /// `k = (m/n)·ln 2` formulas.
+    pub fn with_rate(expected_items: usize, fp_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = fp_rate.clamp(1e-9, 0.5);
+        let m = (-(n * p.ln()) / (2f64.ln() * 2f64.ln())).ceil().max(8.0) as u64;
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 30.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; (m as usize).div_ceil(64)],
+            m,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Number of probe positions per key.
+    pub fn probes(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of keys inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Filter size in bits.
+    pub fn bits(&self) -> u64 {
+        self.m
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = hashes(key);
+        for i in 0..self.k {
+            let bit = probe(h1, h2, i, self.m);
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Returns `false` when the key is definitely absent; `true` when it
+    /// may be present (false positives possible at the configured rate).
+    pub fn maybe_contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hashes(key);
+        (0..self.k).all(|i| {
+            let bit = probe(h1, h2, i, self.m);
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Measures the empirical false-positive rate against a sample of keys
+    /// known to be absent (testing/diagnostics helper).
+    pub fn empirical_fp_rate<'a>(&self, absent_keys: impl Iterator<Item = &'a [u8]>) -> f64 {
+        let mut total = 0u64;
+        let mut fp = 0u64;
+        for key in absent_keys {
+            total += 1;
+            if self.maybe_contains(key) {
+                fp += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            fp as f64 / total as f64
+        }
+    }
+}
+
+/// Two independent 64-bit hashes (FNV-1a and an xorshift-multiplied
+/// variant) combined via Kirsch–Mitzenmacher double hashing.
+fn hashes(key: &[u8]) -> (u64, u64) {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h1 ^= b as u64;
+        h1 = h1.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut h2 = h1 ^ 0x9E37_79B9_7F4A_7C15;
+    h2 ^= h2 >> 33;
+    h2 = h2.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h2 ^= h2 >> 33;
+    (h1, h2 | 1) // force h2 odd so probe strides cover the table
+}
+
+fn probe(h1: u64, h2: u64, i: u32, m: u64) -> u64 {
+    h1.wrapping_add(h2.wrapping_mul(i as u64)) % m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_rate(1000, 0.01);
+        let keys: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| format!("key-{i}").into_bytes())
+            .collect();
+        for k in &keys {
+            bf.insert(k);
+        }
+        for k in &keys {
+            assert!(bf.maybe_contains(k), "false negative for {k:?}");
+        }
+        assert_eq!(bf.inserted(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_near_target() {
+        let mut bf = BloomFilter::with_rate(10_000, 0.01);
+        for i in 0..10_000u32 {
+            bf.insert(format!("present-{i}").as_bytes());
+        }
+        let absent: Vec<Vec<u8>> = (0..10_000u32)
+            .map(|i| format!("absent-{i}").into_bytes())
+            .collect();
+        let rate = bf.empirical_fp_rate(absent.iter().map(|k| k.as_slice()));
+        assert!(rate < 0.03, "fp rate {rate} too far above the 1 % target");
+    }
+
+    #[test]
+    fn lower_target_rate_uses_more_bits() {
+        let loose = BloomFilter::with_rate(1000, 0.1);
+        let tight = BloomFilter::with_rate(1000, 0.001);
+        assert!(tight.bits() > loose.bits());
+        assert!(tight.probes() > loose.probes());
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = BloomFilter::with_rate(100, 0.01);
+        assert!(!bf.maybe_contains(b"anything"));
+        assert_eq!(bf.empirical_fp_rate([b"x".as_slice()].into_iter()), 0.0);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let mut bf = BloomFilter::with_rate(0, 0.01);
+        bf.insert(b"a");
+        assert!(bf.maybe_contains(b"a"));
+        let bf2 = BloomFilter::with_rate(10, 0.0); // rate clamped
+        assert!(bf2.bits() > 0);
+    }
+}

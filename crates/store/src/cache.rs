@@ -1,0 +1,178 @@
+//! A small O(log n) LRU cache, used as the table's row cache.
+//!
+//! The paper's database model calls out caches as a variance source:
+//! "a miss in a cache … can arbitrarily make a request orders of magnitude
+//! slower than average" (§VI-a), and its related-work discussion notes that
+//! replica-spreading defeats caching. The row cache here lets the cost
+//! model and the ablation benches quantify both effects.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// An LRU cache over hashable keys.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    map: HashMap<K, (V, u64)>,
+    /// recency tick → key; the smallest tick is the eviction victim.
+    order: BTreeMap<u64, K>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates a cache holding up to `capacity` entries. Capacity 0 is a
+    /// legal "always miss" cache.
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            capacity,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((_, last)) => {
+                self.order.remove(last);
+                *last = tick;
+                self.order.insert(tick, key.clone());
+                self.hits += 1;
+                // Reborrow immutably for the return value.
+                self.map.get(key).map(|(v, _)| v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or replaces an entry, evicting the least recently used entry
+    /// if the cache is over capacity.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((_, old_tick)) = self.map.insert(key.clone(), (value, self.tick)) {
+            self.order.remove(&old_tick);
+        }
+        self.order.insert(self.tick, key);
+        while self.map.len() > self.capacity {
+            let (_, victim) = self.order.pop_first().expect("order tracks map");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Removes an entry (used on writes to keep the cache coherent).
+    pub fn invalidate(&mut self, key: &K) {
+        if let Some((_, tick)) = self.map.remove(key) {
+            self.order.remove(&tick);
+        }
+    }
+
+    /// Drops everything (used after compaction rewrites the data).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_put() {
+        let mut c = Lru::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"z"), None);
+        assert_eq!(c.hit_stats(), (2, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = Lru::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.get(&"a"); // refresh a → b is LRU
+        c.put("c", 3);
+        assert_eq!(c.get(&"b"), None, "b should have been evicted");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_recency() {
+        let mut c = Lru::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10); // a refreshed → b is LRU
+        c.put("c", 3);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = Lru::new(4);
+        c.put(1, "x");
+        c.put(2, "y");
+        c.invalidate(&1);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        // Internal order map must not leak stale entries.
+        c.put(3, "z");
+        assert_eq!(c.get(&3), Some(&"z"));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = Lru::new(0);
+        c.put("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_respects_capacity() {
+        let mut c = Lru::new(16);
+        for i in 0..10_000u32 {
+            c.put(i, i * 2);
+        }
+        assert_eq!(c.len(), 16);
+        // The 16 newest keys survive.
+        for i in 10_000 - 16..10_000 {
+            assert_eq!(c.get(&i), Some(&(i * 2)), "key {i} missing");
+        }
+    }
+}

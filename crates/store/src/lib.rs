@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # kvs-store
+//!
+//! A single-node wide-column key-value store modelled on Apache Cassandra's
+//! storage engine, built as the database substrate for the ICPP'17
+//! reproduction. It is a *real* store — writes land in a memtable, flushes
+//! produce immutable sorted SSTables with bloom filters and two-level
+//! indexing, reads merge all runs with newest-wins semantics — but it is
+//! in-memory and instrumented: every read returns a [`ReadReceipt`]
+//! describing exactly what work was done (bloom probes, index seeks,
+//! column-index blocks touched, cells scanned, cache hits).
+//!
+//! ## The two-level index (why Figure 6 has a kink)
+//!
+//! Cassandra indexes data twice: a *partition index* maps each partition
+//! key to its location, and — only for partitions larger than
+//! `column_index_size` (64 KiB by default) — a *column index* subdivides the
+//! partition into blocks so range reads can seek. The paper found that this
+//! threshold shows up as a discontinuity in single-request latency at
+//! ≈ 1425 cells per row (1425 × 46 B ≈ 64 KiB); our store reproduces the
+//! mechanism: [`SsTable`] builds a column index exactly when the encoded
+//! partition exceeds the threshold, and [`CostModel`] charges for it.
+//!
+//! ## Cost model
+//!
+//! Simulated experiments need a service *time* for each read. Rather than
+//! timing this in-memory store (which would be nothing like a 2010 Cassandra
+//! node with SATA disks), [`CostModel::paper_cassandra`] converts a
+//! [`ReadReceipt`] into milliseconds using the regression constants the
+//! paper published (Formula 6), so the virtual cluster's database behaves
+//! like the one the authors measured.
+
+pub mod bloom;
+pub mod cache;
+pub mod compaction;
+pub mod cost;
+pub mod memtable;
+pub mod receipt;
+pub mod schema;
+pub mod sstable;
+pub mod table;
+pub mod tiering;
+
+pub use bloom::BloomFilter;
+pub use cache::Lru;
+pub use cost::CostModel;
+pub use memtable::Memtable;
+pub use receipt::ReadReceipt;
+pub use schema::{Cell, PartitionKey};
+pub use sstable::{SsTable, SsTableOptions};
+pub use table::{Table, TableMetrics, TableOptions};
+pub use tiering::{StorageHierarchy, Tier};

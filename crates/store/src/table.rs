@@ -1,0 +1,492 @@
+//! The table: memtable + SSTables + row cache, with merged reads.
+//!
+//! This is the per-node database instance the cluster layer talks to. The
+//! read path mirrors Cassandra's: row cache → (memtable ∥ every SSTable not
+//! excluded by its bloom filter) → merge newest-wins → fill cache.
+
+use crate::cache::Lru;
+use crate::compaction;
+use crate::memtable::Memtable;
+use crate::receipt::ReadReceipt;
+use crate::schema::{Cell, ClusteringKey, PartitionKey};
+use crate::sstable::{SsTable, SsTableOptions};
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+use std::sync::Arc;
+
+/// Table configuration.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Flush the memtable to an SSTable when it exceeds this many bytes.
+    pub memtable_flush_bytes: usize,
+    /// Column-index threshold per partition (Cassandra's
+    /// `column_index_size_in_kb`, default 64 KiB).
+    pub column_index_size: usize,
+    /// Bloom-filter target false-positive rate.
+    pub bloom_fp_rate: f64,
+    /// Row-cache capacity in partitions (0 disables it).
+    pub row_cache_partitions: usize,
+    /// Trigger a full compaction when this many SSTables accumulate.
+    pub compaction_threshold: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions {
+            memtable_flush_bytes: 8 * 1024 * 1024,
+            column_index_size: 64 * 1024,
+            bloom_fp_rate: 0.01,
+            row_cache_partitions: 0,
+            compaction_threshold: 4,
+        }
+    }
+}
+
+/// Lifetime counters for a table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableMetrics {
+    /// Cells written.
+    pub writes: u64,
+    /// Logical reads served.
+    pub reads: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Reads served entirely from the row cache.
+    pub row_cache_hits: u64,
+}
+
+/// A single-node wide-column table.
+///
+/// ```
+/// use kvs_store::{Cell, PartitionKey, Table, TableOptions};
+///
+/// let mut table = Table::new(TableOptions::default());
+/// table.put(PartitionKey::from("users:eu"), Cell::new(1, 0, vec![0xAA]));
+/// table.put(PartitionKey::from("users:eu"), Cell::new(2, 1, vec![0xBB]));
+/// table.flush(); // memtable → SSTable
+///
+/// let (cells, receipt) = table.get(&PartitionKey::from("users:eu"));
+/// assert_eq!(cells.len(), 2);
+/// assert_eq!(receipt.sstables_read, 1);
+/// ```
+pub struct Table {
+    opts: TableOptions,
+    memtable: Memtable,
+    sstables: Vec<SsTable>,
+    row_cache: Lru<PartitionKey, Arc<Vec<Cell>>>,
+    metrics: TableMetrics,
+    next_generation: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(opts: TableOptions) -> Self {
+        let row_cache = Lru::new(opts.row_cache_partitions);
+        Table {
+            opts,
+            memtable: Memtable::new(),
+            sstables: Vec::new(),
+            row_cache,
+            metrics: TableMetrics::default(),
+            next_generation: 1,
+        }
+    }
+
+    /// Creates a table with default options.
+    pub fn with_defaults() -> Self {
+        Self::new(TableOptions::default())
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &TableOptions {
+        &self.opts
+    }
+
+    /// Lifetime metrics.
+    pub fn metrics(&self) -> TableMetrics {
+        self.metrics
+    }
+
+    /// Number of live SSTables.
+    pub fn sstable_count(&self) -> usize {
+        self.sstables.len()
+    }
+
+    /// Total cells currently buffered in the memtable.
+    pub fn memtable_cells(&self) -> usize {
+        self.memtable.cells()
+    }
+
+    /// Writes one cell, flushing / compacting when thresholds trip.
+    pub fn put(&mut self, pk: PartitionKey, cell: Cell) {
+        self.metrics.writes += 1;
+        self.row_cache.invalidate(&pk);
+        self.memtable.insert(pk, cell);
+        if self.memtable.bytes() >= self.opts.memtable_flush_bytes {
+            self.flush();
+        }
+    }
+
+    /// Bulk-loads cells for one partition (test/workload convenience).
+    pub fn put_all(&mut self, pk: &PartitionKey, cells: impl IntoIterator<Item = Cell>) {
+        for cell in cells {
+            self.put(pk.clone(), cell);
+        }
+    }
+
+    /// Forces the memtable to disk (a new SSTable), possibly compacting.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let drained = self.memtable.drain_sorted();
+        let sst = SsTable::build(
+            drained,
+            SsTableOptions {
+                column_index_size: self.opts.column_index_size,
+                bloom_fp_rate: self.opts.bloom_fp_rate,
+            },
+            self.next_generation,
+        );
+        self.next_generation += 1;
+        self.sstables.push(sst);
+        self.metrics.flushes += 1;
+        if self.sstables.len() >= self.opts.compaction_threshold {
+            self.compact();
+        }
+    }
+
+    /// Merges all SSTables into one (size-tiered "major" compaction).
+    pub fn compact(&mut self) {
+        if self.sstables.len() < 2 {
+            return;
+        }
+        let merged = compaction::merge_all(
+            std::mem::take(&mut self.sstables),
+            SsTableOptions {
+                column_index_size: self.opts.column_index_size,
+                bloom_fp_rate: self.opts.bloom_fp_rate,
+            },
+            self.next_generation,
+        );
+        self.next_generation += 1;
+        self.sstables.push(merged);
+        self.metrics.compactions += 1;
+        // Data moved; cached rows remain *logically* valid (compaction does
+        // not change content), so the cache is kept.
+    }
+
+    /// Reads a whole partition, merging memtable and SSTables newest-wins.
+    /// Returns the cells in clustering order plus the work receipt.
+    pub fn get(&mut self, pk: &PartitionKey) -> (Vec<Cell>, ReadReceipt) {
+        self.metrics.reads += 1;
+        let mut receipt = ReadReceipt::default();
+        if let Some(cached) = self.row_cache.get(pk) {
+            receipt.row_cache_hit = true;
+            receipt.cells_returned = cached.len() as u64;
+            self.metrics.row_cache_hits += 1;
+            return (cached.as_ref().clone(), receipt);
+        }
+        let mut merged: BTreeMap<ClusteringKey, Cell> = BTreeMap::new();
+        // Oldest generation first so newer runs overwrite older cells.
+        for sst in &self.sstables {
+            if let Some(cells) = sst.read(pk, &mut receipt) {
+                for cell in cells {
+                    merged.insert(cell.clustering, cell);
+                }
+            }
+        }
+        if let Some(cells) = self.memtable.get(pk) {
+            receipt.memtable_hit = true;
+            for cell in cells {
+                merged.insert(cell.clustering, cell);
+            }
+        }
+        let out: Vec<Cell> = merged.into_values().collect();
+        // `cells_returned` accumulated per-run counts double-merged cells;
+        // report the merged truth instead.
+        receipt.cells_returned = out.len() as u64;
+        if !out.is_empty() {
+            self.row_cache.put(pk.clone(), Arc::new(out.clone()));
+        }
+        (out, receipt)
+    }
+
+    /// Reads a clustering range of a partition (no row-cache interaction —
+    /// Cassandra's row cache also only serves full-row reads).
+    pub fn get_range(
+        &mut self,
+        pk: &PartitionKey,
+        range: RangeInclusive<ClusteringKey>,
+    ) -> (Vec<Cell>, ReadReceipt) {
+        self.metrics.reads += 1;
+        let mut receipt = ReadReceipt::default();
+        let mut merged: BTreeMap<ClusteringKey, Cell> = BTreeMap::new();
+        for sst in &self.sstables {
+            for cell in sst.read_range(pk, range.clone(), &mut receipt) {
+                merged.insert(cell.clustering, cell);
+            }
+        }
+        let mem = self.memtable.get_range(pk, range);
+        if !mem.is_empty() {
+            receipt.memtable_hit = true;
+            for cell in mem {
+                merged.insert(cell.clustering, cell);
+            }
+        }
+        let out: Vec<Cell> = merged.into_values().collect();
+        receipt.cells_returned = out.len() as u64;
+        (out, receipt)
+    }
+
+    /// Row-cache hit statistics `(hits, misses)`.
+    pub fn row_cache_stats(&self) -> (u64, u64) {
+        self.row_cache.hit_stats()
+    }
+
+    /// Persists the table: flushes the memtable and serializes every run
+    /// (see [`SsTable::serialize`]). The images plus the options are all
+    /// that is needed to [`Table::restore`].
+    pub fn snapshot(&mut self) -> Vec<bytes::Bytes> {
+        self.flush();
+        self.sstables.iter().map(|s| s.serialize()).collect()
+    }
+
+    /// Rebuilds a table from [`Table::snapshot`] images. Returns `None` if
+    /// any image is corrupt (a partial restore would silently lose data).
+    pub fn restore(
+        opts: TableOptions,
+        images: impl IntoIterator<Item = impl AsRef<[u8]>>,
+    ) -> Option<Table> {
+        let mut table = Table::new(opts);
+        let mut max_generation = 0;
+        for image in images {
+            let sst = SsTable::deserialize(image.as_ref())?;
+            max_generation = max_generation.max(sst.generation());
+            table.sstables.push(sst);
+        }
+        table.sstables.sort_by_key(|s| s.generation());
+        table.next_generation = max_generation + 1;
+        Some(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pk(i: u64) -> PartitionKey {
+        PartitionKey::from_id(i)
+    }
+
+    fn small_opts() -> TableOptions {
+        TableOptions {
+            memtable_flush_bytes: 46 * 100, // flush every 100 cells
+            compaction_threshold: 100,      // no auto-compaction
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn read_your_writes_from_memtable() {
+        let mut t = Table::with_defaults();
+        t.put(pk(1), Cell::synthetic(10, 2));
+        let (cells, receipt) = t.get(&pk(1));
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].kind, 2);
+        assert!(receipt.memtable_hit);
+        assert_eq!(receipt.sstables_read, 0);
+    }
+
+    #[test]
+    fn read_after_flush_hits_sstable() {
+        let mut t = Table::with_defaults();
+        for c in 0..50u64 {
+            t.put(pk(1), Cell::synthetic(c, 0));
+        }
+        t.flush();
+        assert_eq!(t.sstable_count(), 1);
+        assert_eq!(t.memtable_cells(), 0);
+        let (cells, receipt) = t.get(&pk(1));
+        assert_eq!(cells.len(), 50);
+        assert!(!receipt.memtable_hit);
+        assert_eq!(receipt.sstables_read, 1);
+    }
+
+    #[test]
+    fn newest_write_wins_across_runs() {
+        let mut t = Table::new(small_opts());
+        t.put(pk(1), Cell::new(7, 1, vec![1]));
+        t.flush();
+        t.put(pk(1), Cell::new(7, 2, vec![2]));
+        t.flush();
+        t.put(pk(1), Cell::new(7, 3, vec![3])); // memtable, newest
+        let (cells, _) = t.get(&pk(1));
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].kind, 3);
+        // And after dropping the memtable version, the newest SSTable wins.
+        let mut t2 = Table::new(small_opts());
+        t2.put(pk(1), Cell::new(7, 1, vec![1]));
+        t2.flush();
+        t2.put(pk(1), Cell::new(7, 2, vec![2]));
+        t2.flush();
+        let (cells2, _) = t2.get(&pk(1));
+        assert_eq!(cells2[0].kind, 2);
+    }
+
+    #[test]
+    fn automatic_flush_on_threshold() {
+        let mut t = Table::new(small_opts());
+        for c in 0..250u64 {
+            t.put(pk(c % 5), Cell::synthetic(c, 0));
+        }
+        assert!(t.metrics().flushes >= 2, "flushes: {}", t.metrics().flushes);
+        // All data still readable.
+        let total: usize = (0..5u64).map(|p| t.get(&pk(p)).0.len()).sum();
+        assert_eq!(total, 250);
+    }
+
+    #[test]
+    fn automatic_compaction_on_threshold() {
+        let mut t = Table::new(TableOptions {
+            memtable_flush_bytes: 46 * 10,
+            compaction_threshold: 3,
+            ..Default::default()
+        });
+        for c in 0..200u64 {
+            t.put(pk(c % 4), Cell::synthetic(c, 0));
+        }
+        t.flush();
+        assert!(t.metrics().compactions >= 1);
+        assert!(t.sstable_count() < 3);
+        let total: usize = (0..4u64).map(|p| t.get(&pk(p)).0.len()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn merged_reads_span_memtable_and_sstables() {
+        let mut t = Table::new(small_opts());
+        for c in 0..10u64 {
+            t.put(pk(1), Cell::synthetic(c, 0));
+        }
+        t.flush();
+        for c in 10..20u64 {
+            t.put(pk(1), Cell::synthetic(c, 1));
+        }
+        let (cells, receipt) = t.get(&pk(1));
+        assert_eq!(cells.len(), 20);
+        assert!(receipt.memtable_hit);
+        assert_eq!(receipt.sstables_read, 1);
+        assert!(cells.windows(2).all(|w| w[0].clustering < w[1].clustering));
+    }
+
+    #[test]
+    fn range_reads_merge_correctly() {
+        let mut t = Table::new(small_opts());
+        for c in (0..100u64).step_by(2) {
+            t.put(pk(1), Cell::synthetic(c, 0));
+        }
+        t.flush();
+        for c in (1..100u64).step_by(2) {
+            t.put(pk(1), Cell::synthetic(c, 1));
+        }
+        let (cells, _) = t.get_range(&pk(1), 10..=19);
+        let keys: Vec<u64> = cells.iter().map(|c| c.clustering).collect();
+        assert_eq!(keys, (10..=19).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn row_cache_serves_repeat_reads() {
+        let mut t = Table::new(TableOptions {
+            row_cache_partitions: 8,
+            ..small_opts()
+        });
+        for c in 0..30u64 {
+            t.put(pk(1), Cell::synthetic(c, 0));
+        }
+        t.flush();
+        let (_, r1) = t.get(&pk(1));
+        assert!(!r1.row_cache_hit);
+        let (cells, r2) = t.get(&pk(1));
+        assert!(r2.row_cache_hit);
+        assert_eq!(cells.len(), 30);
+        assert_eq!(t.metrics().row_cache_hits, 1);
+    }
+
+    #[test]
+    fn writes_invalidate_row_cache() {
+        let mut t = Table::new(TableOptions {
+            row_cache_partitions: 8,
+            ..small_opts()
+        });
+        t.put(pk(1), Cell::synthetic(0, 0));
+        let _ = t.get(&pk(1));
+        t.put(pk(1), Cell::synthetic(1, 0));
+        let (cells, r) = t.get(&pk(1));
+        assert!(!r.row_cache_hit, "stale cache served");
+        assert_eq!(cells.len(), 2);
+    }
+
+    #[test]
+    fn missing_partition_reads_empty() {
+        let mut t = Table::with_defaults();
+        t.put(pk(1), Cell::synthetic(0, 0));
+        t.flush();
+        let (cells, receipt) = t.get(&pk(99));
+        assert!(cells.is_empty());
+        assert_eq!(receipt.cells_returned, 0);
+        let (cells2, _) = t.get_range(&pk(99), 0..=10);
+        assert!(cells2.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips() {
+        let mut t = Table::new(small_opts());
+        for c in 0..150u64 {
+            t.put(pk(c % 3), Cell::synthetic(c, (c % 4) as u8));
+        }
+        t.flush();
+        // Overwrite one cell in a later run so generation order matters.
+        t.put(pk(0), Cell::new(0, 99, vec![1]));
+        let images = t.snapshot();
+        assert!(!images.is_empty());
+        let mut restored = Table::restore(small_opts(), &images).expect("restore");
+        for p in 0..3u64 {
+            let (orig, _) = t.get(&pk(p));
+            let (back, _) = restored.get(&pk(p));
+            assert_eq!(orig, back, "partition {p}");
+        }
+        // Newest-wins must survive the roundtrip.
+        let (cells, _) = restored.get(&pk(0));
+        assert_eq!(cells[0].kind, 99);
+        // And the restored table keeps accepting writes with a fresh
+        // generation counter.
+        restored.put(pk(9), Cell::synthetic(1, 1));
+        restored.flush();
+        assert_eq!(restored.get(&pk(9)).0.len(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_corruption() {
+        let mut t = Table::new(small_opts());
+        t.put(pk(1), Cell::synthetic(0, 0));
+        let mut images: Vec<Vec<u8>> = t.snapshot().iter().map(|b| b.to_vec()).collect();
+        images[0][2] ^= 0xFF;
+        assert!(Table::restore(small_opts(), &images).is_none());
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let mut t = Table::new(small_opts());
+        for c in 0..10u64 {
+            t.put(pk(0), Cell::synthetic(c, 0));
+        }
+        let _ = t.get(&pk(0));
+        let _ = t.get_range(&pk(0), 0..=3);
+        let m = t.metrics();
+        assert_eq!(m.writes, 10);
+        assert_eq!(m.reads, 2);
+    }
+}

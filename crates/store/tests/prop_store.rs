@@ -1,0 +1,141 @@
+//! Property tests for the store: round-trips, merge semantics, and the
+//! range/point read equivalence that the experiments depend on.
+
+use bytes::BytesMut;
+use kvs_store::{BloomFilter, Cell, PartitionKey, Table, TableOptions};
+use proptest::prelude::*;
+
+fn small_table_opts(flush_every_cells: usize) -> TableOptions {
+    TableOptions {
+        memtable_flush_bytes: 46 * flush_every_cells.max(1),
+        compaction_threshold: 3,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Cells round-trip through the wire encoding for arbitrary contents.
+    #[test]
+    fn cell_roundtrip(clustering in any::<u64>(), kind in any::<u8>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let cell = Cell::new(clustering, kind, payload);
+        let mut buf = BytesMut::new();
+        cell.encode(&mut buf);
+        prop_assert_eq!(buf.len(), cell.encoded_len());
+        let mut bytes = buf.freeze();
+        let back = Cell::decode(&mut bytes).expect("roundtrip");
+        prop_assert_eq!(back, cell);
+        prop_assert!(bytes.is_empty());
+    }
+
+    /// Last-write-wins: for an arbitrary write sequence (with duplicate
+    /// clustering keys and interleaved flushes), a read returns exactly the
+    /// latest value per clustering key, sorted.
+    #[test]
+    fn table_is_last_write_wins(
+        writes in proptest::collection::vec((0u64..40, any::<u8>()), 1..120),
+        flush_every in 1usize..30,
+    ) {
+        let mut table = Table::new(small_table_opts(flush_every));
+        let pk = PartitionKey::from_id(1);
+        let mut expected = std::collections::BTreeMap::new();
+        for (i, &(clustering, kind)) in writes.iter().enumerate() {
+            table.put(pk.clone(), Cell::new(clustering, kind, vec![kind; 4]));
+            expected.insert(clustering, kind);
+            if i % flush_every == 0 {
+                table.flush();
+            }
+        }
+        let (cells, receipt) = table.get(&pk);
+        prop_assert_eq!(cells.len(), expected.len());
+        prop_assert_eq!(receipt.cells_returned as usize, expected.len());
+        for (cell, (&clustering, &kind)) in cells.iter().zip(expected.iter()) {
+            prop_assert_eq!(cell.clustering, clustering);
+            prop_assert_eq!(cell.kind, kind);
+        }
+        // Sorted by clustering key.
+        prop_assert!(cells.windows(2).all(|w| w[0].clustering < w[1].clustering));
+    }
+
+    /// Range reads agree with filtering a full read, across flush layouts
+    /// and the column-index threshold.
+    #[test]
+    fn range_equals_filtered_point_read(
+        cells in 1u64..3000,
+        lo in 0u64..3000,
+        span in 0u64..3000,
+        flush_every in 100usize..2000,
+    ) {
+        let mut table = Table::new(small_table_opts(flush_every));
+        let pk = PartitionKey::from_id(7);
+        for c in 0..cells {
+            table.put(pk.clone(), Cell::synthetic(c, (c % 5) as u8));
+        }
+        table.flush();
+        let hi = lo.saturating_add(span);
+        let (full, _) = table.get(&pk);
+        let (ranged, _) = table.get_range(&pk, lo..=hi);
+        let filtered: Vec<Cell> = full
+            .into_iter()
+            .filter(|c| c.clustering >= lo && c.clustering <= hi)
+            .collect();
+        prop_assert_eq!(ranged, filtered);
+    }
+
+    /// Compaction changes the physical layout but never the logical
+    /// contents.
+    #[test]
+    fn compaction_preserves_contents(
+        partitions in proptest::collection::vec(1u64..60, 1..8),
+    ) {
+        let mut table = Table::new(small_table_opts(10));
+        for (p, &n) in partitions.iter().enumerate() {
+            for c in 0..n {
+                table.put(PartitionKey::from_id(p as u64), Cell::synthetic(c, (c % 3) as u8));
+            }
+            table.flush();
+        }
+        let before: Vec<Vec<Cell>> = (0..partitions.len())
+            .map(|p| table.get(&PartitionKey::from_id(p as u64)).0)
+            .collect();
+        table.compact();
+        prop_assert!(table.sstable_count() <= 1);
+        for (p, expected) in before.iter().enumerate() {
+            let (after, _) = table.get(&PartitionKey::from_id(p as u64));
+            prop_assert_eq!(&after, expected);
+        }
+    }
+
+    /// Bloom filters never produce false negatives, whatever the keys.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..24), 1..80),
+        rate in 0.001f64..0.3,
+    ) {
+        let mut bf = BloomFilter::with_rate(keys.len(), rate);
+        for k in &keys {
+            bf.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(bf.maybe_contains(k));
+        }
+    }
+
+    /// The receipt's byte accounting matches the data actually returned.
+    #[test]
+    fn receipt_bytes_match_reads(cells in 1u64..500) {
+        let mut table = Table::new(TableOptions::default());
+        let pk = PartitionKey::from_id(3);
+        for c in 0..cells {
+            table.put(pk.clone(), Cell::synthetic(c, 0));
+        }
+        table.flush();
+        let (out, receipt) = table.get(&pk);
+        let actual_bytes: u64 = out.iter().map(|c| c.encoded_len() as u64).sum();
+        prop_assert_eq!(receipt.bytes_read, actual_bytes);
+        prop_assert_eq!(receipt.cells_returned, cells);
+        prop_assert!(!receipt.row_cache_hit);
+    }
+}

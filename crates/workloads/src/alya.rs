@@ -1,0 +1,284 @@
+//! A synthetic stand-in for the Alya bronchi inhalation dataset.
+//!
+//! The real dataset is the particle output of a CFD simulation of an
+//! inhalation: particles follow the airflow down a branching airway tree
+//! and deposit on its walls. For the indexing experiments only the *spatial
+//! distribution* matters — particles concentrate along a self-similar
+//! branching structure, so octree cubes have wildly different populations.
+//! We reproduce that by growing a procedural bronchial tree (recursive
+//! bifurcation with shrinking radii) and scattering particles along its
+//! branches with radial Gaussian spread.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// One simulated particle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Stable id (becomes the store's clustering key).
+    pub id: u64,
+    /// Position in the unit cube `[0,1)³`.
+    pub pos: [f64; 3],
+    /// Particle class (species / deposition state) — the attribute the
+    /// paper's "count by type" aggregation groups on.
+    pub kind: u8,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct AlyaConfig {
+    /// Number of particles to generate.
+    pub particles: usize,
+    /// Bifurcation depth of the airway tree (7 gives ~255 branches).
+    pub tree_depth: usize,
+    /// Branch length shrink factor per generation.
+    pub length_ratio: f64,
+    /// Radial spread of particles around the branch centreline.
+    pub radial_sigma: f64,
+    /// Number of particle classes.
+    pub kinds: u8,
+}
+
+impl Default for AlyaConfig {
+    fn default() -> Self {
+        AlyaConfig {
+            particles: 1_000_000,
+            tree_depth: 7,
+            length_ratio: 0.72,
+            radial_sigma: 0.01,
+            kinds: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Branch {
+    start: [f64; 3],
+    end: [f64; 3],
+    generation: usize,
+}
+
+/// Grows the airway tree and scatters particles along it.
+pub fn generate<R: Rng + ?Sized>(config: &AlyaConfig, rng: &mut R) -> Vec<Particle> {
+    let branches = grow_tree(config, rng);
+    scatter(config, &branches, rng)
+}
+
+/// Recursive bifurcation: trachea at the top of the unit cube, children
+/// splay outward with random azimuth, lengths shrinking per generation.
+fn grow_tree<R: Rng + ?Sized>(config: &AlyaConfig, rng: &mut R) -> Vec<Branch> {
+    let mut branches = Vec::new();
+    let trachea = Branch {
+        start: [0.5, 0.5, 0.95],
+        end: [0.5, 0.5, 0.95 - 0.22],
+        generation: 0,
+    };
+    let mut frontier = vec![trachea];
+    branches.push(trachea);
+    for generation in 1..=config.tree_depth {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for parent in &frontier {
+            let dir = direction(parent);
+            let len = norm(&dir) * config.length_ratio;
+            for side in [-1.0, 1.0] {
+                // Branching angle ≈ 35° ± noise, random azimuth around the
+                // parent axis.
+                let polar = (35.0 + rng.gen_range(-8.0..8.0)) * std::f64::consts::PI / 180.0;
+                let azimuth = rng.gen_range(0.0..std::f64::consts::TAU);
+                let child_dir = rotate(dir, polar * side, azimuth);
+                let end = [
+                    clamp01(parent.end[0] + child_dir[0] / norm(&child_dir) * len),
+                    clamp01(parent.end[1] + child_dir[1] / norm(&child_dir) * len),
+                    clamp01(parent.end[2] + child_dir[2] / norm(&child_dir) * len),
+                ];
+                let child = Branch {
+                    start: parent.end,
+                    end,
+                    generation,
+                };
+                branches.push(child);
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    branches
+}
+
+/// Scatters particles along branches. Deeper generations receive more
+/// particles per branch-volume (deposition concentrates distally), which is
+/// what makes cube populations skewed.
+fn scatter<R: Rng + ?Sized>(
+    config: &AlyaConfig,
+    branches: &[Branch],
+    rng: &mut R,
+) -> Vec<Particle> {
+    assert!(!branches.is_empty(), "tree has no branches");
+    // Weight ∝ 1.25^generation: distal accumulation.
+    let weights: Vec<f64> = branches
+        .iter()
+        .map(|b| 1.25f64.powi(b.generation as i32))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total_w;
+            Some(*acc)
+        })
+        .collect();
+    let radial = Normal::new(0.0, config.radial_sigma).expect("valid sigma");
+    let mut out = Vec::with_capacity(config.particles);
+    for id in 0..config.particles as u64 {
+        let u: f64 = rng.gen();
+        let idx = cumulative
+            .partition_point(|&c| c < u)
+            .min(branches.len() - 1);
+        let b = &branches[idx];
+        let t: f64 = rng.gen();
+        let pos = [
+            clamp01(b.start[0] + (b.end[0] - b.start[0]) * t + radial.sample(rng)),
+            clamp01(b.start[1] + (b.end[1] - b.start[1]) * t + radial.sample(rng)),
+            clamp01(b.start[2] + (b.end[2] - b.start[2]) * t + radial.sample(rng)),
+        ];
+        out.push(Particle {
+            id,
+            pos,
+            kind: (rng.gen_range(0..config.kinds.max(1) as u32)) as u8,
+        });
+    }
+    out
+}
+
+fn direction(b: &Branch) -> [f64; 3] {
+    [
+        b.end[0] - b.start[0],
+        b.end[1] - b.start[1],
+        b.end[2] - b.start[2],
+    ]
+}
+
+fn norm(v: &[f64; 3]) -> f64 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt().max(1e-12)
+}
+
+/// Rotates `dir` away from its own axis by `polar`, then around it by
+/// `azimuth` — enough anatomy for a plausible splay, not a CFD mesh.
+fn rotate(dir: [f64; 3], polar: f64, azimuth: f64) -> [f64; 3] {
+    let n = norm(&dir);
+    let d = [dir[0] / n, dir[1] / n, dir[2] / n];
+    // Build an orthonormal basis (d, u, v).
+    let pick = if d[0].abs() < 0.9 {
+        [1.0, 0.0, 0.0]
+    } else {
+        [0.0, 1.0, 0.0]
+    };
+    let u = cross(d, pick);
+    let un = norm(&u);
+    let u = [u[0] / un, u[1] / un, u[2] / un];
+    let v = cross(d, u);
+    let (sp, cp) = polar.sin_cos();
+    let (sa, ca) = azimuth.sin_cos();
+    [
+        d[0] * cp + (u[0] * ca + v[0] * sa) * sp,
+        d[1] * cp + (u[1] * ca + v[1] * sa) * sp,
+        d[2] * cp + (u[2] * ca + v[2] * sa) * sp,
+    ]
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0 - 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn small_config() -> AlyaConfig {
+        AlyaConfig {
+            particles: 20_000,
+            tree_depth: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count_in_unit_cube() {
+        let particles = generate(&small_config(), &mut rng(1));
+        assert_eq!(particles.len(), 20_000);
+        for p in &particles {
+            for c in p.pos {
+                assert!((0.0..1.0).contains(&c), "out of cube: {:?}", p.pos);
+            }
+            assert!(p.kind < 4);
+        }
+        // Ids are unique and dense.
+        let mut ids: Vec<u64> = particles.iter().map(|p| p.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 20_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&small_config(), &mut rng(7));
+        let b = generate(&small_config(), &mut rng(7));
+        assert_eq!(a, b);
+        let c = generate(&small_config(), &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn particles_are_spatially_clustered() {
+        // Clustered data occupies far fewer octree leaf boxes than uniform
+        // data would. Compare occupied 16³ grid boxes.
+        let particles = generate(&small_config(), &mut rng(2));
+        let mut occupied = std::collections::HashSet::new();
+        for p in &particles {
+            let key = (
+                (p.pos[0] * 16.0) as u32,
+                (p.pos[1] * 16.0) as u32,
+                (p.pos[2] * 16.0) as u32,
+            );
+            occupied.insert(key);
+        }
+        // Uniform 20k points would occupy ~4000 of 4096 boxes (99 %+).
+        assert!(
+            occupied.len() < 2_500,
+            "{} boxes occupied — not clustered",
+            occupied.len()
+        );
+        assert!(occupied.len() > 50, "implausibly collapsed");
+    }
+
+    #[test]
+    fn tree_has_expected_branch_count() {
+        let cfg = small_config();
+        let branches = grow_tree(&cfg, &mut rng(3));
+        // 1 trachea + Σ 2^g for g in 1..=depth.
+        let expected: usize = 1 + (1..=cfg.tree_depth).map(|g| 1usize << g).sum::<usize>();
+        assert_eq!(branches.len(), expected);
+    }
+
+    #[test]
+    fn all_kinds_are_represented() {
+        let particles = generate(&small_config(), &mut rng(4));
+        let mut seen = [false; 4];
+        for p in &particles {
+            seen[p.kind as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

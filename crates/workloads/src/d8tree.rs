@@ -1,0 +1,358 @@
+//! The D8tree: a denormalized octree over a key-value store (paper §III,
+//! and the authors' ICDCN'16 paper).
+//!
+//! The core idea: every element is *replicated* into the cube that contains
+//! it at **each level** of the octree. A multidimensional query can then be
+//! answered at any granularity — few large cubes (few keys, big rows) or
+//! many small cubes (many keys, small rows): "we can arbitrarily decide the
+//! number of keys we need to access to run a query". The whole paper is
+//! about choosing that granularity.
+
+use crate::alya::Particle;
+use kvs_store::{Cell, PartitionKey};
+use std::collections::BTreeMap;
+
+/// Identifies one cube: an octree level plus a Morton (Z-order) code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CubeId {
+    /// Octree level (0 = the root cube spanning the whole domain).
+    pub level: u8,
+    /// Morton code of the cube within its level (3·level significant bits).
+    pub code: u64,
+}
+
+impl CubeId {
+    /// The store partition key for this cube (`level` byte + big-endian
+    /// code, so cubes sort by level then Z-order).
+    pub fn partition_key(&self) -> PartitionKey {
+        let mut bytes = Vec::with_capacity(9);
+        bytes.push(self.level);
+        bytes.extend_from_slice(&self.code.to_be_bytes());
+        PartitionKey::new(bytes)
+    }
+
+    /// The cube's axis-aligned bounds in the unit cube.
+    pub fn bounds(&self) -> ([f64; 3], [f64; 3]) {
+        let cells = 1u64 << self.level;
+        let size = 1.0 / cells as f64;
+        let (x, y, z) = demorton(self.code, self.level);
+        let lo = [x as f64 * size, y as f64 * size, z as f64 * size];
+        let hi = [lo[0] + size, lo[1] + size, lo[2] + size];
+        (lo, hi)
+    }
+}
+
+/// The built index: per level, cube → element ids.
+#[derive(Debug)]
+pub struct D8Tree {
+    max_level: u8,
+    levels: Vec<BTreeMap<u64, Vec<u64>>>,
+    elements: usize,
+}
+
+impl D8Tree {
+    /// Indexes `particles` into all levels `0..=max_level`.
+    ///
+    /// # Panics
+    /// If `max_level > 20` (a 2⁶⁰-cube level is a configuration bug).
+    pub fn build(particles: &[Particle], max_level: u8) -> Self {
+        assert!(max_level <= 20, "max_level too deep");
+        let mut levels: Vec<BTreeMap<u64, Vec<u64>>> =
+            (0..=max_level).map(|_| BTreeMap::new()).collect();
+        for p in particles {
+            for level in 0..=max_level {
+                let code = morton_at(p.pos, level);
+                levels[level as usize].entry(code).or_default().push(p.id);
+            }
+        }
+        D8Tree {
+            max_level,
+            levels,
+            elements: particles.len(),
+        }
+    }
+
+    /// The deepest indexed level.
+    pub fn max_level(&self) -> u8 {
+        self.max_level
+    }
+
+    /// Total indexed elements.
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Number of distinct (non-empty) cubes at `level`.
+    pub fn cubes_at(&self, level: u8) -> usize {
+        self.levels[level as usize].len()
+    }
+
+    /// Iterates `(cube, element ids)` at a level.
+    pub fn level_cubes(&self, level: u8) -> impl Iterator<Item = (CubeId, &[u64])> + '_ {
+        self.levels[level as usize]
+            .iter()
+            .map(move |(&code, ids)| (CubeId { level, code }, ids.as_slice()))
+    }
+
+    /// The cubes whose population falls in `[min, max]`, searched across
+    /// all levels — the paper's "pre-query phase. We selected all the cubes
+    /// with sizes that matched the three workloads".
+    pub fn cubes_with_size(&self, min: usize, max: usize) -> Vec<(CubeId, usize)> {
+        let mut out = Vec::new();
+        for level in 0..=self.max_level {
+            for (cube, ids) in self.level_cubes(level) {
+                if (min..=max).contains(&ids.len()) {
+                    out.push((cube, ids.len()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-level population histogram: `(level, cubes, min, mean, max)`.
+    pub fn level_stats(&self) -> Vec<(u8, usize, usize, f64, usize)> {
+        (0..=self.max_level)
+            .map(|level| {
+                let sizes: Vec<usize> = self.level_cubes(level).map(|(_, ids)| ids.len()).collect();
+                let cubes = sizes.len();
+                let min = sizes.iter().copied().min().unwrap_or(0);
+                let max = sizes.iter().copied().max().unwrap_or(0);
+                let mean = if cubes == 0 {
+                    0.0
+                } else {
+                    sizes.iter().sum::<usize>() as f64 / cubes as f64
+                };
+                (level, cubes, min, mean, max)
+            })
+            .collect()
+    }
+
+    /// Cube ids at `level` intersecting the axis-aligned box `[lo, hi]` —
+    /// the read set of a spatial range query at that granularity.
+    pub fn query_region(&self, level: u8, lo: [f64; 3], hi: [f64; 3]) -> Vec<CubeId> {
+        self.level_cubes(level)
+            .filter(|(cube, _)| {
+                let (clo, chi) = cube.bounds();
+                (0..3).all(|d| chi[d] > lo[d] && clo[d] < hi[d])
+            })
+            .map(|(cube, _)| cube)
+            .collect()
+    }
+
+    /// Materializes the cubes at `level` as store partitions: one partition
+    /// per cube, one cell per element (clustering key = element id).
+    pub fn level_partitions(
+        &self,
+        level: u8,
+        particles: &[Particle],
+    ) -> Vec<(PartitionKey, Vec<Cell>)> {
+        let by_id: BTreeMap<u64, &Particle> = particles.iter().map(|p| (p.id, p)).collect();
+        self.level_cubes(level)
+            .map(|(cube, ids)| {
+                let cells = ids
+                    .iter()
+                    .map(|id| {
+                        let p = by_id.get(id).expect("indexed element exists");
+                        particle_cell(p)
+                    })
+                    .collect();
+                (cube.partition_key(), cells)
+            })
+            .collect()
+    }
+}
+
+/// Encodes a particle as a store cell: position as 3 little-endian f64 plus
+/// filler, keeping the workspace's standard 46-byte encoded size.
+pub fn particle_cell(p: &Particle) -> Cell {
+    let mut payload = Vec::with_capacity(kvs_store::schema::DEFAULT_PAYLOAD_BYTES);
+    for c in p.pos {
+        payload.extend_from_slice(&c.to_le_bytes());
+    }
+    payload.resize(kvs_store::schema::DEFAULT_PAYLOAD_BYTES, 0xAB);
+    Cell::new(p.id, p.kind, payload)
+}
+
+/// Morton code of a position at a level (interleaves the top `level` bits
+/// of each coordinate).
+pub fn morton_at(pos: [f64; 3], level: u8) -> u64 {
+    if level == 0 {
+        return 0;
+    }
+    let cells = 1u64 << level;
+    let mut code = 0u64;
+    let coords: Vec<u64> = pos
+        .iter()
+        .map(|&c| ((c.clamp(0.0, 1.0 - 1e-12) * cells as f64) as u64).min(cells - 1))
+        .collect();
+    for bit in 0..level as u64 {
+        for (d, &c) in coords.iter().enumerate() {
+            code |= ((c >> bit) & 1) << (bit * 3 + d as u64);
+        }
+    }
+    code
+}
+
+/// Inverse of [`morton_at`]: the integer cell coordinates of a code.
+fn demorton(code: u64, level: u8) -> (u64, u64, u64) {
+    let mut x = 0u64;
+    let mut y = 0u64;
+    let mut z = 0u64;
+    for bit in 0..level as u64 {
+        x |= ((code >> (bit * 3)) & 1) << bit;
+        y |= ((code >> (bit * 3 + 1)) & 1) << bit;
+        z |= ((code >> (bit * 3 + 2)) & 1) << bit;
+    }
+    (x, y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alya::{generate, AlyaConfig};
+    use rand::SeedableRng;
+
+    fn particles(n: usize) -> Vec<Particle> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        generate(
+            &AlyaConfig {
+                particles: n,
+                tree_depth: 6,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn every_level_indexes_every_element() {
+        let ps = particles(5_000);
+        let tree = D8Tree::build(&ps, 5);
+        for level in 0..=5u8 {
+            let total: usize = tree.level_cubes(level).map(|(_, ids)| ids.len()).sum();
+            assert_eq!(total, 5_000, "level {level} lost elements");
+        }
+        assert_eq!(tree.elements(), 5_000);
+    }
+
+    #[test]
+    fn denormalization_grows_key_count_with_level() {
+        let ps = particles(20_000);
+        let tree = D8Tree::build(&ps, 6);
+        let mut prev = 0;
+        for level in 0..=6u8 {
+            let cubes = tree.cubes_at(level);
+            assert!(cubes >= prev, "level {level}: {cubes} < {prev}");
+            prev = cubes;
+        }
+        assert_eq!(tree.cubes_at(0), 1, "root level is one cube");
+        assert!(tree.cubes_at(6) > 100);
+    }
+
+    #[test]
+    fn morton_roundtrips() {
+        for level in 1..=8u8 {
+            let max_code = 1u64 << (3 * level as u64);
+            for code in [0u64, 1, 5, 63, max_code - 1]
+                .into_iter()
+                .filter(|&c| c < max_code)
+            {
+                let (x, y, z) = demorton(code, level);
+                let cells = 1u64 << level;
+                assert!(x < cells && y < cells && z < cells);
+                // Rebuild via a position at the cell centre.
+                let size = 1.0 / cells as f64;
+                let pos = [
+                    (x as f64 + 0.5) * size,
+                    (y as f64 + 0.5) * size,
+                    (z as f64 + 0.5) * size,
+                ];
+                assert_eq!(morton_at(pos, level), code, "level {level} code {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_contain_their_elements() {
+        let ps = particles(2_000);
+        let tree = D8Tree::build(&ps, 4);
+        let by_id: BTreeMap<u64, &Particle> = ps.iter().map(|p| (p.id, p)).collect();
+        for (cube, ids) in tree.level_cubes(4) {
+            let (lo, hi) = cube.bounds();
+            for id in ids {
+                let p = by_id[id];
+                for d in 0..3 {
+                    assert!(
+                        p.pos[d] >= lo[d] - 1e-9 && p.pos[d] <= hi[d] + 1e-9,
+                        "element {id} outside its cube"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_size_selection_matches_filter() {
+        let ps = particles(30_000);
+        let tree = D8Tree::build(&ps, 6);
+        let picked = tree.cubes_with_size(50, 200);
+        assert!(!picked.is_empty());
+        for (_, size) in &picked {
+            assert!((50..=200).contains(size));
+        }
+    }
+
+    #[test]
+    fn clustered_data_has_skewed_cube_sizes() {
+        let ps = particles(30_000);
+        let tree = D8Tree::build(&ps, 5);
+        let stats = tree.level_stats();
+        let (_, cubes, min, mean, max) = stats[5];
+        assert!(cubes > 10);
+        // Bronchial clustering ⇒ max ≫ mean ≫ min.
+        assert!(
+            (max as f64) > mean * 4.0,
+            "max {max} vs mean {mean} — no skew"
+        );
+        assert!((min as f64) < mean, "min {min} vs mean {mean}");
+    }
+
+    #[test]
+    fn query_region_finds_intersecting_cubes() {
+        let ps = particles(10_000);
+        let tree = D8Tree::build(&ps, 4);
+        let all = tree.query_region(4, [0.0; 3], [1.0; 3]);
+        assert_eq!(all.len(), tree.cubes_at(4));
+        let some = tree.query_region(4, [0.4, 0.4, 0.4], [0.6, 0.6, 0.6]);
+        assert!(some.len() < all.len());
+        let none = tree.query_region(4, [2.0; 3], [3.0; 3]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn partitions_materialize_with_standard_cells() {
+        let ps = particles(3_000);
+        let tree = D8Tree::build(&ps, 3);
+        let parts = tree.level_partitions(3, &ps);
+        assert_eq!(parts.len(), tree.cubes_at(3));
+        let total: usize = parts.iter().map(|(_, cells)| cells.len()).sum();
+        assert_eq!(total, 3_000);
+        for (_, cells) in &parts {
+            for cell in cells {
+                assert_eq!(cell.encoded_len(), 46, "non-standard cell size");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_keys_are_unique_across_levels() {
+        let ps = particles(1_000);
+        let tree = D8Tree::build(&ps, 3);
+        let mut keys = std::collections::BTreeSet::new();
+        for level in 0..=3u8 {
+            for (cube, _) in tree.level_cubes(level) {
+                assert!(keys.insert(cube.partition_key()), "duplicate key {cube:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The paper's three data models (§V): one million elements partitioned at
+//! three granularities.
+//!
+//! > coarse-grained: 100 partitions, of 10,000 elements each.
+//! > medium-grained: 1,000 partitions of 1,000 elements each.
+//! > fine-grained: 10,000 partitions of 100 elements each.
+
+use kvs_store::{Cell, PartitionKey};
+
+/// The paper's total dataset size.
+pub const PAPER_TOTAL_ELEMENTS: u64 = 1_000_000;
+
+/// One of the paper's partition granularities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataModel {
+    /// 100 × 10 000.
+    Coarse,
+    /// 1 000 × 1 000.
+    Medium,
+    /// 10 000 × 100.
+    Fine,
+}
+
+impl DataModel {
+    /// All three, in the paper's order.
+    pub const ALL: [DataModel; 3] = [DataModel::Coarse, DataModel::Medium, DataModel::Fine];
+
+    /// The paper's name for the model.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataModel::Coarse => "coarse-grained",
+            DataModel::Medium => "medium-grained",
+            DataModel::Fine => "fine-grained",
+        }
+    }
+
+    /// Number of partitions (keys) at the paper's dataset size.
+    pub fn partitions(self) -> u64 {
+        match self {
+            DataModel::Coarse => 100,
+            DataModel::Medium => 1_000,
+            DataModel::Fine => 10_000,
+        }
+    }
+
+    /// Elements per partition at the paper's dataset size.
+    pub fn cells_per_partition(self) -> u64 {
+        PAPER_TOTAL_ELEMENTS / self.partitions()
+    }
+
+    /// Partition count for an arbitrary dataset size, keeping the paper's
+    /// elements-per-partition ratio.
+    pub fn partitions_for(self, total_elements: u64) -> u64 {
+        (total_elements / self.cells_per_partition()).max(1)
+    }
+
+    /// Builds the partition set for `total_elements` elements: partition
+    /// `p` gets clustering keys `p·k .. (p+1)·k` with kinds cycling
+    /// `0..kinds`. Partition keys are namespaced per model so all three
+    /// models can coexist in one table, as in the paper ("the three tests
+    /// ran on the same database table"). Datasets that do not divide into
+    /// whole partitions are rounded down; datasets smaller than one
+    /// partition produce a single short partition.
+    pub fn build_partitions(
+        self,
+        total_elements: u64,
+        kinds: u8,
+    ) -> Vec<(PartitionKey, Vec<Cell>)> {
+        let per = self.cells_per_partition();
+        let partitions = self.partitions_for(total_elements);
+        (0..partitions)
+            .map(|p| {
+                let start = p * per;
+                let end = ((p + 1) * per).min(total_elements.max(start + 1));
+                let cells: Vec<Cell> = (start..end)
+                    .map(|id| Cell::synthetic(id, (id % kinds.max(1) as u64) as u8))
+                    .collect();
+                (self.partition_key(p), cells)
+            })
+            .collect()
+    }
+
+    /// The partition key of this model's `p`-th partition.
+    pub fn partition_key(self, p: u64) -> PartitionKey {
+        let prefix: u8 = match self {
+            DataModel::Coarse => b'C',
+            DataModel::Medium => b'M',
+            DataModel::Fine => b'F',
+        };
+        let mut bytes = Vec::with_capacity(9);
+        bytes.push(prefix);
+        bytes.extend_from_slice(&p.to_be_bytes());
+        PartitionKey::new(bytes)
+    }
+
+    /// The full key list the master issues for this model's query.
+    pub fn query_keys(self, total_elements: u64) -> Vec<PartitionKey> {
+        (0..self.partitions_for(total_elements))
+            .map(|p| self.partition_key(p))
+            .collect()
+    }
+}
+
+/// Builds an arbitrary-granularity partition set: `partitions` partitions
+/// over `total_elements`, sizes differing by at most one cell (the first
+/// `total % partitions` partitions take the extra cell — dumping the whole
+/// remainder on one partition would manufacture a straggler). This is what
+/// the optimizer's recommendations (e.g. Figure 9's 6 068 rows) need to be
+/// *run*, not just predicted. Keys carry a `G` namespace.
+pub fn custom_partitions(
+    total_elements: u64,
+    partitions: u64,
+    kinds: u8,
+) -> Vec<(PartitionKey, Vec<Cell>)> {
+    assert!(partitions >= 1, "need at least one partition");
+    assert!(
+        total_elements >= partitions,
+        "more partitions than elements"
+    );
+    let per = total_elements / partitions;
+    let extra = total_elements % partitions;
+    let mut next_id = 0u64;
+    (0..partitions)
+        .map(|p| {
+            let size = per + if p < extra { 1 } else { 0 };
+            let cells = (next_id..next_id + size)
+                .map(|id| Cell::synthetic(id, (id % kinds.max(1) as u64) as u8))
+                .collect();
+            next_id += size;
+            let mut key = Vec::with_capacity(9);
+            key.push(b'G');
+            key.extend_from_slice(&p.to_be_bytes());
+            (PartitionKey::new(key), cells)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        assert_eq!(DataModel::Coarse.partitions(), 100);
+        assert_eq!(DataModel::Coarse.cells_per_partition(), 10_000);
+        assert_eq!(DataModel::Medium.partitions(), 1_000);
+        assert_eq!(DataModel::Medium.cells_per_partition(), 1_000);
+        assert_eq!(DataModel::Fine.partitions(), 10_000);
+        assert_eq!(DataModel::Fine.cells_per_partition(), 100);
+        // All three cover the same million elements.
+        for m in DataModel::ALL {
+            assert_eq!(
+                m.partitions() * m.cells_per_partition(),
+                PAPER_TOTAL_ELEMENTS
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_down_build_preserves_ratio() {
+        let parts = DataModel::Medium.build_partitions(10_000, 4);
+        assert_eq!(parts.len(), 10);
+        for (_, cells) in &parts {
+            assert_eq!(cells.len(), 1_000);
+        }
+    }
+
+    #[test]
+    fn build_covers_all_elements_exactly_once() {
+        let parts = DataModel::Fine.build_partitions(5_000, 4);
+        let mut ids: Vec<u64> = parts
+            .iter()
+            .flat_map(|(_, cells)| cells.iter().map(|c| c.clustering))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids.len(), 5_000);
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1), "ids not dense");
+    }
+
+    #[test]
+    fn kinds_are_balanced() {
+        let parts = DataModel::Coarse.build_partitions(40_000, 4);
+        let mut counts = [0u64; 4];
+        for (_, cells) in &parts {
+            for c in cells {
+                counts[c.kind as usize] += 1;
+            }
+        }
+        assert_eq!(counts, [10_000; 4]);
+    }
+
+    #[test]
+    fn keys_are_distinct_across_models() {
+        let mut all = std::collections::BTreeSet::new();
+        for m in DataModel::ALL {
+            for key in m.query_keys(10_000) {
+                assert!(all.insert(key), "key collision between models");
+            }
+        }
+    }
+
+    #[test]
+    fn query_keys_match_build() {
+        let parts = DataModel::Medium.build_partitions(20_000, 2);
+        let keys = DataModel::Medium.query_keys(20_000);
+        assert_eq!(parts.len(), keys.len());
+        for ((pk, _), key) in parts.iter().zip(&keys) {
+            assert_eq!(pk, key);
+        }
+    }
+
+    #[test]
+    fn custom_partitions_cover_everything_exactly_once() {
+        for (total, parts) in [(10_000u64, 33u64), (999, 999), (5_000, 1), (1_000, 7)] {
+            let built = custom_partitions(total, parts, 4);
+            assert_eq!(built.len() as u64, parts);
+            let mut ids: Vec<u64> = built
+                .iter()
+                .flat_map(|(_, cells)| cells.iter().map(|c| c.clustering))
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids.len() as u64, total, "{total}/{parts}");
+            assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+            // No straggler partitions: sizes differ by at most one cell.
+            let sizes: Vec<usize> = built.iter().map(|(_, c)| c.len()).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "{total}/{parts}: sizes {min}..{max}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more partitions than elements")]
+    fn custom_partitions_reject_overpartitioning() {
+        let _ = custom_partitions(5, 10, 2);
+    }
+
+    #[test]
+    fn tiny_datasets_round_to_one_partition() {
+        assert_eq!(DataModel::Coarse.partitions_for(5), 1);
+        let parts = DataModel::Coarse.build_partitions(5, 2);
+        assert_eq!(parts.len(), 1);
+    }
+}

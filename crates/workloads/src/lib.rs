@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # kvs-workloads
+//!
+//! Synthetic datasets and data models for the experiments.
+//!
+//! The paper indexes the output of the Alya multi-physics simulator — "how
+//! particles are dragged into the bronchi during an inhalation" — with the
+//! authors' D8tree, a *denormalized* octree on top of a key-value store.
+//! We have neither Alya nor its dataset, so:
+//!
+//! * [`alya`] generates a synthetic particle cloud advected through a
+//!   procedurally grown bronchial tree — spatially clustered exactly the
+//!   way a deposition study's output is, which is what matters for cube
+//!   size skew;
+//! * [`d8tree`] implements the D8tree mechanism: every element is
+//!   replicated into the cube containing it at *every* level of the octree,
+//!   so a query can be answered at any granularity — "we can arbitrarily
+//!   decide the number of keys we need to access" (§III);
+//! * [`datamodels`] pins the paper's three workloads (coarse 100 × 10 000,
+//!   medium 1 000 × 1 000, fine 10 000 × 100 over one million elements);
+//! * [`sampling`] provides the stratified row-size samples behind the
+//!   Figure 6 and Figure 7 calibrations.
+
+pub mod alya;
+pub mod d8tree;
+pub mod datamodels;
+pub mod queries;
+pub mod sampling;
+
+pub use alya::{AlyaConfig, Particle};
+pub use d8tree::{CubeId, D8Tree};
+pub use datamodels::DataModel;
+pub use queries::SpatialQuery;

@@ -1,0 +1,207 @@
+//! Spatial query workloads over the D8tree.
+//!
+//! The paper's D8tree case study serves multidimensional range queries;
+//! this module generates the query side of that workload: axis-aligned
+//! boxes with controllable size and spatial skew (analysis sessions hammer
+//! the regions where the particles actually are — the "working set might
+//! rapidly change over time" situation of §VIII).
+
+use crate::alya::Particle;
+use crate::d8tree::D8Tree;
+use kvs_store::PartitionKey;
+use rand::Rng;
+
+/// An axis-aligned query box in the unit cube.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialQuery {
+    /// Lower corner.
+    pub lo: [f64; 3],
+    /// Upper corner.
+    pub hi: [f64; 3],
+}
+
+impl SpatialQuery {
+    /// A box of edge length `edge` centred at `center`, clamped to the
+    /// unit cube.
+    pub fn centered(center: [f64; 3], edge: f64) -> Self {
+        let h = (edge / 2.0).clamp(0.0, 0.5);
+        let lo = [
+            (center[0] - h).max(0.0),
+            (center[1] - h).max(0.0),
+            (center[2] - h).max(0.0),
+        ];
+        let hi = [
+            (center[0] + h).min(1.0),
+            (center[1] + h).min(1.0),
+            (center[2] + h).min(1.0),
+        ];
+        SpatialQuery { lo, hi }
+    }
+
+    /// The box's volume.
+    pub fn volume(&self) -> f64 {
+        (0..3).map(|d| (self.hi[d] - self.lo[d]).max(0.0)).product()
+    }
+
+    /// The partition keys a query must read at octree `level`.
+    pub fn keys_at_level(&self, tree: &D8Tree, level: u8) -> Vec<PartitionKey> {
+        tree.query_region(level, self.lo, self.hi)
+            .into_iter()
+            .map(|cube| cube.partition_key())
+            .collect()
+    }
+}
+
+/// Generates `count` boxes of edge `edge` with uniformly random centres.
+pub fn uniform_queries<R: Rng + ?Sized>(count: usize, edge: f64, rng: &mut R) -> Vec<SpatialQuery> {
+    (0..count)
+        .map(|_| {
+            let center = [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()];
+            SpatialQuery::centered(center, edge)
+        })
+        .collect()
+}
+
+/// Generates `count` boxes centred on randomly drawn *particles* — queries
+/// that follow the data, the realistic analysis pattern (and the one that
+/// produces hot keys).
+pub fn data_following_queries<R: Rng + ?Sized>(
+    count: usize,
+    edge: f64,
+    particles: &[Particle],
+    rng: &mut R,
+) -> Vec<SpatialQuery> {
+    assert!(!particles.is_empty(), "need particles to follow");
+    (0..count)
+        .map(|_| {
+            let p = &particles[rng.gen_range(0..particles.len())];
+            SpatialQuery::centered(p.pos, edge)
+        })
+        .collect()
+}
+
+/// Workload statistics: how many keys and elements a query batch touches
+/// at a level (the paper's granularity trade-off, per query).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryLoad {
+    /// Mean keys read per query.
+    pub mean_keys: f64,
+    /// Max keys read by any query.
+    pub max_keys: usize,
+    /// Mean elements scanned per query.
+    pub mean_elements: f64,
+}
+
+/// Measures a query batch against the tree at `level`.
+pub fn measure_load(tree: &D8Tree, level: u8, queries: &[SpatialQuery]) -> QueryLoad {
+    assert!(!queries.is_empty(), "empty query batch");
+    let mut total_keys = 0usize;
+    let mut max_keys = 0usize;
+    let mut total_elements = 0usize;
+    for q in queries {
+        let cubes = tree.query_region(level, q.lo, q.hi);
+        total_keys += cubes.len();
+        max_keys = max_keys.max(cubes.len());
+        for cube in cubes {
+            total_elements += tree
+                .level_cubes(level)
+                .find(|(c, _)| *c == cube)
+                .map(|(_, ids)| ids.len())
+                .unwrap_or(0);
+        }
+    }
+    QueryLoad {
+        mean_keys: total_keys as f64 / queries.len() as f64,
+        max_keys,
+        mean_elements: total_elements as f64 / queries.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alya::{generate, AlyaConfig};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn small_world() -> (Vec<Particle>, D8Tree) {
+        let particles = generate(
+            &AlyaConfig {
+                particles: 5_000,
+                tree_depth: 5,
+                ..Default::default()
+            },
+            &mut rng(1),
+        );
+        let tree = D8Tree::build(&particles, 4);
+        (particles, tree)
+    }
+
+    #[test]
+    fn centered_boxes_clamp_to_unit_cube() {
+        let q = SpatialQuery::centered([0.05, 0.5, 0.98], 0.2);
+        assert_eq!(q.lo[0], 0.0);
+        assert!((q.hi[2] - 1.0).abs() < 1e-12);
+        assert!(q.volume() > 0.0 && q.volume() <= 0.2f64.powi(3) + 1e-12);
+    }
+
+    #[test]
+    fn uniform_queries_have_requested_shape() {
+        let qs = uniform_queries(50, 0.25, &mut rng(2));
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            for d in 0..3 {
+                assert!(q.hi[d] - q.lo[d] <= 0.25 + 1e-12);
+                assert!(q.hi[d] >= q.lo[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn data_following_queries_hit_more_data() {
+        let (particles, tree) = small_world();
+        let uniform = uniform_queries(40, 0.15, &mut rng(3));
+        let following = data_following_queries(40, 0.15, &particles, &mut rng(4));
+        let u = measure_load(&tree, 4, &uniform);
+        let f = measure_load(&tree, 4, &following);
+        assert!(
+            f.mean_elements > u.mean_elements * 2.0,
+            "data-following queries should be denser: {} vs {}",
+            f.mean_elements,
+            u.mean_elements
+        );
+    }
+
+    #[test]
+    fn deeper_levels_need_more_keys_per_query() {
+        let (particles, tree) = small_world();
+        let qs = data_following_queries(20, 0.3, &particles, &mut rng(5));
+        let shallow = measure_load(&tree, 2, &qs);
+        let deep = measure_load(&tree, 4, &qs);
+        assert!(
+            deep.mean_keys > shallow.mean_keys,
+            "deep {} vs shallow {}",
+            deep.mean_keys,
+            shallow.mean_keys
+        );
+    }
+
+    #[test]
+    fn keys_at_level_match_query_region() {
+        let (particles, tree) = small_world();
+        let q = data_following_queries(1, 0.2, &particles, &mut rng(6))[0];
+        let keys = q.keys_at_level(&tree, 3);
+        let cubes = tree.query_region(3, q.lo, q.hi);
+        assert_eq!(keys.len(), cubes.len());
+        assert!(!keys.is_empty(), "a data-centred box must hit cubes");
+    }
+
+    #[test]
+    #[should_panic(expected = "need particles")]
+    fn following_empty_particles_panics() {
+        let _ = data_following_queries(1, 0.1, &[], &mut rng(7));
+    }
+}

@@ -1,0 +1,140 @@
+//! Stratified row-size sampling (the Figure 6 / Figure 7 calibration
+//! inputs).
+//!
+//! §VI-a: "we made a stratified sampling of the rows in our dataset so that
+//! we could get the same number of random samples for each range of row
+//! size" (Figure 6), and "another stratified sampling of 20 groups, each of
+//! them with a row size range of 500 elements" (Figure 7).
+
+use kvs_store::{Cell, PartitionKey};
+use rand::Rng;
+
+/// Draws `per_stratum` random row sizes from each of `strata` equal-width
+/// size bands spanning `[min_size, max_size]`.
+pub fn stratified_sizes<R: Rng + ?Sized>(
+    min_size: u64,
+    max_size: u64,
+    strata: usize,
+    per_stratum: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(max_size > min_size, "empty size range");
+    assert!(strata > 0 && per_stratum > 0);
+    let width = (max_size - min_size) as f64 / strata as f64;
+    let mut out = Vec::with_capacity(strata * per_stratum);
+    for s in 0..strata {
+        let lo = min_size as f64 + s as f64 * width;
+        let hi = (lo + width).min(max_size as f64);
+        for _ in 0..per_stratum {
+            out.push(rng.gen_range(lo..hi).round().max(1.0) as u64);
+        }
+    }
+    out
+}
+
+/// The paper's Figure 7 grouping: `groups` bands of `band_width` elements
+/// each ("the first group has keys with sizes one to five hundred, the
+/// second from five hundred to one thousand, and so on"), `per_group`
+/// random sizes in each. Returns one `Vec<u64>` per group.
+pub fn figure7_groups<R: Rng + ?Sized>(
+    groups: usize,
+    band_width: u64,
+    per_group: usize,
+    rng: &mut R,
+) -> Vec<Vec<u64>> {
+    assert!(groups > 0 && band_width > 0 && per_group > 0);
+    (0..groups)
+        .map(|g| {
+            let lo = (g as u64 * band_width).max(1);
+            let hi = (g as u64 + 1) * band_width;
+            (0..per_group).map(|_| rng.gen_range(lo..=hi)).collect()
+        })
+        .collect()
+}
+
+/// Materializes one partition per requested size (keys namespaced with an
+/// `S` prefix so they never collide with the data models).
+pub fn partitions_with_sizes(sizes: &[u64], kinds: u8) -> Vec<(PartitionKey, Vec<Cell>)> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| {
+            let mut key = Vec::with_capacity(9);
+            key.push(b'S');
+            key.extend_from_slice(&(i as u64).to_be_bytes());
+            let cells = (0..size)
+                .map(|c| Cell::synthetic(c, (c % kinds.max(1) as u64) as u8))
+                .collect();
+            (PartitionKey::new(key), cells)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stratified_sizes_cover_every_band() {
+        let sizes = stratified_sizes(1, 10_000, 20, 5, &mut rng(1));
+        assert_eq!(sizes.len(), 100);
+        let width = 9_999.0 / 20.0;
+        for (i, chunk) in sizes.chunks(5).enumerate() {
+            let lo = 1.0 + i as f64 * width - 1.0; // rounding slack
+            let hi = 1.0 + (i as f64 + 1.0) * width + 1.0;
+            for &s in chunk {
+                assert!(
+                    (s as f64) >= lo && (s as f64) <= hi,
+                    "size {s} outside stratum {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_groups_match_paper_shape() {
+        let groups = figure7_groups(20, 500, 8, &mut rng(2));
+        assert_eq!(groups.len(), 20);
+        for (g, sizes) in groups.iter().enumerate() {
+            assert_eq!(sizes.len(), 8);
+            let lo = (g as u64 * 500).max(1);
+            let hi = (g as u64 + 1) * 500;
+            for &s in sizes {
+                assert!((lo..=hi).contains(&s), "group {g}: size {s}");
+            }
+        }
+        // Group 19 spans 9 500..10 000 — "up to ten thousand items per row".
+        assert!(groups[19].iter().all(|&s| s > 9_000));
+    }
+
+    #[test]
+    fn partitions_have_requested_sizes() {
+        let sizes = vec![3u64, 1, 10];
+        let parts = partitions_with_sizes(&sizes, 4);
+        assert_eq!(parts.len(), 3);
+        for ((_, cells), &size) in parts.iter().zip(&sizes) {
+            assert_eq!(cells.len() as u64, size);
+        }
+        // Distinct keys.
+        let keys: std::collections::BTreeSet<_> = parts.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = stratified_sizes(1, 1_000, 5, 4, &mut rng(3));
+        let b = stratified_sizes(1, 1_000, 5, 4, &mut rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty size range")]
+    fn degenerate_range_rejected() {
+        let _ = stratified_sizes(10, 10, 2, 2, &mut rng(4));
+    }
+}

@@ -1,0 +1,93 @@
+//! Data-model advisor: the §II phone-book example, end to end.
+//!
+//! You are indexing every phone number in the world on a DHT store and
+//! must choose the partition key: country, city, or subscriber. This
+//! example quantifies each choice's imbalance (Formula 1 + Monte Carlo,
+//! including the weighted-city trap), then lets the performance model say
+//! which query each layout serves well.
+//!
+//! Run with: `cargo run --release --example data_model_advisor`
+
+use kvscale::balance::formula::{imbalance_ratio, keys_for_imbalance};
+use kvscale::balance::simulation::{max_load_density, Placement};
+use kvscale::balance::weighted::{keys_carrying_fraction, weighted_imbalance, zipf_weights};
+use kvscale::prelude::*;
+
+fn main() {
+    println!("== data-model advisor: the phone-book example ==\n");
+    let nodes = 10u64;
+
+    println!("choice of partition key on {nodes} servers (Formula 1):");
+    for (label, keys) in [
+        ("country prefix (~200 keys)", 200u64),
+        ("city (~1M keys)", 1_000_000),
+        ("subscriber (~1B keys)", 1_000_000_000),
+    ] {
+        let p = imbalance_ratio(keys, nodes);
+        println!(
+            "  {label:<28} most loaded node ≈ {:>7.3}% above average",
+            p * 100.0
+        );
+    }
+
+    println!("\nbut city *sizes* are Zipf-distributed:");
+    let weights = zipf_weights(1_000_000, 1.0);
+    let hot = keys_carrying_fraction(&weights, 0.5);
+    println!("  {hot} cities carry half of all subscribers;");
+    println!("  a query over popular cities behaves like {hot} keys, not 1M:");
+    for n in [10u64, 20] {
+        println!(
+            "    {n:>2} servers → {:>5.1}% imbalance (Formula 1 on the hot keys)",
+            imbalance_ratio(hot as u64, n) * 100.0
+        );
+    }
+    let hub = RngHub::new(42);
+    let mut rng = hub.stream("advisor");
+    let sampled: Vec<f64> = weights.iter().take(50_000).copied().collect();
+    let sim = weighted_imbalance(&sampled, 10, 500, &mut rng);
+    println!(
+        "  Monte-Carlo on the weighted keys confirms: mean excess {:.1}%, worst {:.1}%",
+        sim.mean_relative_excess * 100.0,
+        sim.worst_relative_excess * 100.0
+    );
+
+    // How many keys do you need for a target imbalance?
+    println!("\ndesign rule: keys needed to stay under a target imbalance:");
+    for target in [0.10, 0.05, 0.01] {
+        for n in [10u64, 100] {
+            let m = keys_for_imbalance(target, n).expect("positive target");
+            println!(
+                "  ≤{:>4.0}% imbalance on {n:>3} nodes → ≥ {m} keys",
+                target * 100.0
+            );
+        }
+    }
+
+    // Empirical check of the tail: country keys on 10 nodes.
+    let density = max_load_density(200, 10, Placement::SingleChoice, 20_000, &mut rng);
+    println!(
+        "\nbrute force, 200 country keys on 10 nodes: mean max load {:.1} (uniform share 20); P(max ≥ 27) = {:.0}%",
+        density.mean(),
+        density.prob_worse_than(26) * 100.0
+    );
+
+    // What does each layout mean for query performance? Model it.
+    println!("\nquery-time consequences (1M records scanned, model):");
+    let model = SystemModel::paper_optimized();
+    for (label, keys) in [
+        ("by country (200 partitions)", 200.0),
+        ("by city (5k hot partitions)", 5_000.0),
+        ("by subscriber (point reads)", 1_000_000.0),
+    ] {
+        let p = model.predict_for_total(1_000_000.0, keys, 10);
+        println!(
+            "  {label:<30} → {:>9.0} ms, {}-bound (key_max {:.0})",
+            p.total_ms(),
+            p.dominant(),
+            p.keymax
+        );
+    }
+    println!("\nAdvice: country grouping murders balance; subscriber-level keys murder");
+    println!("the master; a mid-granularity layout (the optimizer's choice) wins — and");
+    println!("the right answer changes with cluster size, as the paper's §VII shows.");
+}

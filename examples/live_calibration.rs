@@ -1,0 +1,124 @@
+//! Live calibration: fit this machine's Formula 6.
+//!
+//! §VI: "While the specific regression models may be realistic only for
+//! some hardware/software settings, the overall model and methodology can
+//! be applied to any system: it would simply require to run the same tests
+//! on the different hardware/software stack and create a new regression."
+//!
+//! This example does exactly that — against the real store on the machine
+//! you are running on: stratified row sizes, repeated timed reads, a
+//! piecewise fit with confidence intervals. The numbers will look nothing
+//! like a 2010 Cassandra cluster (everything is in memory here); the point
+//! is that the *method* — and the column-index mechanism — carry over.
+//!
+//! Run with: `cargo run --release --example live_calibration`
+
+use kvscale::model::regression::{fit_linear, fit_piecewise};
+use kvscale::prelude::*;
+use kvscale::workloads::sampling::{partitions_with_sizes, stratified_sizes};
+use std::time::Instant;
+
+fn main() {
+    println!("== live calibration of this machine's query_time(s) ==\n");
+    let hub = RngHub::new(0x11FE);
+    let mut rng = hub.stream("live-cal");
+    // Stratified sizes across the 64 KiB column-index threshold (1425
+    // cells), plus a dense band around it.
+    let mut sizes = stratified_sizes(16, 20_000, 24, 5, &mut rng);
+    sizes.extend(stratified_sizes(1_000, 2_000, 8, 3, &mut rng));
+    let parts = partitions_with_sizes(&sizes, 4);
+    let keys: Vec<PartitionKey> = parts.iter().map(|(pk, _)| pk.clone()).collect();
+    let mut table = Table::new(TableOptions::default());
+    for (pk, cells) in parts {
+        for cell in cells {
+            table.put(pk.clone(), cell);
+        }
+    }
+    table.flush();
+    println!(
+        "loaded {} rows of 16..20000 cells; timing reads…",
+        keys.len()
+    );
+
+    // Warm up, then take the median of repeated reads per row.
+    const REPS: usize = 7;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for pk in &keys {
+        let _ = table.get(pk); // warm-up
+        let mut times_us = Vec::with_capacity(REPS);
+        let mut cells = 0u64;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let (out, _) = table.get(pk);
+            times_us.push(start.elapsed().as_secs_f64() * 1e6);
+            cells = out.len() as u64;
+        }
+        times_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.push(cells as f64);
+        ys.push(times_us[REPS / 2]);
+    }
+
+    let linear = fit_linear(&xs, &ys).expect("fit");
+    println!(
+        "\nsingle-line fit   : {:.2} + {:.4}·s µs  (R² = {:.3})",
+        linear.intercept, linear.slope, linear.r2
+    );
+    let (lo, hi) = linear.slope_ci95();
+    println!(
+        "per-cell cost     : {:.4} µs/cell, 95% CI [{lo:.4}, {hi:.4}]",
+        linear.slope
+    );
+    println!(
+        "slope significant : {}",
+        if linear.slope_is_significant() {
+            "yes"
+        } else {
+            "no — rerun on a quieter machine"
+        }
+    );
+
+    match fit_piecewise(&xs, &ys) {
+        Some(fit) => {
+            println!("\npiecewise fit (this machine):");
+            println!(
+                "  breakpoint : {:.0} cells (the store's index threshold is 1425)",
+                fit.breakpoint
+            );
+            println!(
+                "  below      : {:.2} + {:.4}·s µs  (R² {:.3})",
+                fit.below.intercept, fit.below.slope, fit.below.r2
+            );
+            println!(
+                "  above      : {:.2} + {:.4}·s µs  (R² {:.3})",
+                fit.above.intercept, fit.above.slope, fit.above.r2
+            );
+            println!("  jump       : {:+.2} µs", fit.jump());
+            println!("\n(An in-memory store may show only a faint kink — the mechanism exists");
+            println!("but block decoding is cheap in RAM; on the paper's SATA-backed");
+            println!("Cassandra the same threshold cost 7 ms. The method is identical.)");
+        }
+        None => println!("\nnot enough samples for a piecewise fit"),
+    }
+
+    // What would the paper's model machinery do with this machine?
+    // (Use a measured point, not the extrapolated intercept, for the small
+    // row — the OLS intercept is dominated by the large-row samples.)
+    println!("\nplugging the live fit into the planner:");
+    let t250_us = xs
+        .iter()
+        .zip(&ys)
+        .min_by(|a, b| {
+            (a.0 - 250.0)
+                .abs()
+                .partial_cmp(&(b.0 - 250.0).abs())
+                .expect("finite")
+        })
+        .map(|(_, &t)| t)
+        .expect("non-empty samples")
+        .max(0.1);
+    let per_node_rps = 1e6 / t250_us;
+    println!("  a single such node serves ≈ {per_node_rps:.0} serial ~250-cell reads/second;");
+    println!("  the DHT imbalance math (Formulas 1/5) is hardware-independent and");
+    println!("  applies unchanged — only the DB regression needed re-measuring.");
+}

@@ -1,0 +1,84 @@
+//! Quickstart: the whole methodology in one sitting, laptop-sized.
+//!
+//! Builds a virtual 8-node cluster, loads 100 000 elements under the
+//! paper's "medium-grained" data model, runs the distributed count-by-kind
+//! aggregation, prints the stage breakdown and bottleneck, then calibrates
+//! the analytical model and asks it for the optimal partition count.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kvscale::prelude::*;
+use kvscale::workloads::DataModel;
+
+fn main() {
+    let elements = 100_000;
+    println!("== kvscale quickstart ==");
+    println!("dataset: {elements} elements, medium-grained (1 000 cells per partition)\n");
+
+    // --- Steps 1-3: run one experiment and look at its stages. ---
+    let study = Study::new(elements);
+    let result = study.run(DataModel::Medium, 8);
+
+    println!(
+        "query answered: {} cells in {}",
+        result.total_cells, result.makespan
+    );
+    println!("counts by kind: {:?}", result.counts_by_kind);
+    println!("\nstage means across {} sub-queries:", result.traces.len());
+    for stage in Stage::ALL {
+        if let Some(stats) = result.report.per_stage_ms.get(&stage) {
+            println!("  {:>18}: {:>9.2} ms", stage.name(), stats.mean());
+        }
+    }
+    println!("\nrequests per node: {:?}", result.requests_per_node());
+    println!(
+        "most loaded node carries {:.0}% more than average",
+        result.load_excess() * 100.0
+    );
+    println!("classified bottleneck: {:?}", result.report.bottleneck);
+
+    // --- Step 4: calibrate the model and plan. ---
+    println!("\ncalibrating the analytical model (Figure 6/7 procedure)…");
+    let calibrated = study.calibrate();
+    println!(
+        "  query_time(s) ≈ {:.2} + {:.4}·s ms below {:.0} cells, {:.2} + {:.4}·s above",
+        calibrated.system.db.query_time.base_ms,
+        calibrated.system.db.query_time.per_cell_ms,
+        calibrated.system.db.query_time.threshold_cells,
+        calibrated.system.db.query_time.indexed_base_ms,
+        calibrated.system.db.query_time.indexed_per_cell_ms,
+    );
+    println!(
+        "  parallel speed-up ≈ {:.2} {:+.2}·ln(s)",
+        calibrated.system.db.parallelism.a, calibrated.system.db.parallelism.b
+    );
+
+    for nodes in [1u64, 4, 8, 16] {
+        let opt = calibrated.optimize(nodes);
+        println!(
+            "  {nodes:>2} nodes → optimal {:>5} partitions ({:>5.0} cells each), predicted {:.0} ms, {} bound",
+            opt.partitions,
+            opt.cells_per_partition,
+            opt.total_ms(),
+            opt.prediction.dominant(),
+        );
+    }
+
+    // --- What-if: the paper's headline trade-off. ---
+    println!("\nwhat-if via the model (1M elements, 16 nodes):");
+    let model = SystemModel::paper_optimized();
+    for (label, keys) in [
+        ("coarse 100", 100.0),
+        ("medium 1k", 1_000.0),
+        ("fine 10k", 10_000.0),
+    ] {
+        let p = model.predict_for_total(1_000_000.0, keys, 16);
+        println!(
+            "  {label:<11} → {:>8.0} ms (master {:.0} ms, slaves {:.0} ms, key_max {:.1})",
+            p.total_ms(),
+            p.master_ms,
+            p.slave_ms,
+            p.keymax
+        );
+    }
+}

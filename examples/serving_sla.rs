@@ -1,0 +1,75 @@
+//! Serving SLA: size a cluster for an online (open-loop) workload.
+//!
+//! The paper's introduction frames DHT stores as the substrate for
+//! interactive analysis — "being able to analyse massive quantities of
+//! data in a short time". This example answers the operations question
+//! that follows: given a request mix and a p99 target, how many nodes?
+//!
+//! Run with: `cargo run --release --example serving_sla -- [p99_ms] [offered_rps]`
+
+use kvscale::cluster::data::uniform_partitions;
+use kvscale::cluster::{run_open_loop, ClusterConfig, ClusterData};
+use kvscale::prelude::*;
+
+const CELLS: u64 = 250;
+const PARTITIONS: u64 = 2_000;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p99_target: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(60.0);
+    let offered_rps: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_500.0);
+    println!(
+        "== serving SLA: p99 ≤ {p99_target} ms at {offered_rps} rps ({CELLS}-cell reads) ==\n"
+    );
+
+    // The model's first guess: nodes ≥ offered / per-node throughput.
+    let model = SystemModel::paper_optimized();
+    let per_node = model.db.node_throughput_rps(CELLS as f64);
+    let guess = (offered_rps / per_node).ceil() as u32;
+    println!(
+        "Formula 8: one node sustains ≈ {per_node:.0} rps at this row size → start at {guess} nodes\n"
+    );
+
+    let parts = uniform_partitions(PARTITIONS, CELLS, 4);
+    let keys: Vec<PartitionKey> = parts.iter().map(|(pk, _)| pk.clone()).collect();
+    println!(
+        "{:>6} {:>13} {:>9} {:>9} {:>9}  verdict",
+        "nodes", "achieved rps", "p50", "p90", "p99"
+    );
+    let mut chosen = None;
+    for nodes in guess..guess + 8 {
+        let mut data = ClusterData::load(nodes, 1, TableOptions::default(), parts.clone());
+        let mut cfg = ClusterConfig::paper_optimized_master(nodes);
+        cfg.db.parallelism = 32;
+        let result = run_open_loop(
+            &cfg,
+            &mut data,
+            &keys,
+            offered_rps,
+            SimDuration::from_secs(3),
+            &format!("sla-{nodes}"),
+        );
+        let s = result.latency_ms.as_ref().expect("completions");
+        let ok = s.p99 <= p99_target && result.achieved_rps >= offered_rps * 0.98;
+        println!(
+            "{:>6} {:>13.0} {:>8.1} {:>8.1} {:>8.1}  {}",
+            nodes,
+            result.achieved_rps,
+            s.p50,
+            s.p90,
+            s.p99,
+            if ok { "meets SLA" } else { "violates" }
+        );
+        if ok && chosen.is_none() {
+            chosen = Some(nodes);
+        }
+    }
+    match chosen {
+        Some(n) => println!(
+            "\n→ provision {n} nodes: the smallest size meeting p99 ≤ {p99_target} ms at {offered_rps} rps."
+        ),
+        None => println!(
+            "\n→ no size in the sweep met the SLA — raise the budget or shrink the rows\n  (smaller rows parallelize better; see Figure 7)."
+        ),
+    }
+}

@@ -1,0 +1,129 @@
+//! Workload-pipeline integration plus property-based tests (proptest) on
+//! the cross-crate invariants the experiments lean on.
+
+use kvscale::prelude::*;
+use kvscale::simcore::RngHub;
+use kvscale::store::ReadReceipt;
+use kvscale::workloads::alya::{generate, AlyaConfig};
+use kvscale::workloads::d8tree::morton_at;
+use kvscale::workloads::sampling::partitions_with_sizes;
+use kvscale::workloads::{D8Tree, DataModel};
+use proptest::prelude::*;
+
+#[test]
+fn particles_to_store_roundtrip() {
+    let mut rng = RngHub::new(5).stream("alya");
+    let particles = generate(
+        &AlyaConfig {
+            particles: 2_000,
+            tree_depth: 5,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let tree = D8Tree::build(&particles, 3);
+    let mut table = Table::new(TableOptions::default());
+    for (pk, cells) in tree.level_partitions(3, &particles) {
+        for cell in cells {
+            table.put(pk.clone(), cell);
+        }
+    }
+    table.flush();
+    // Read back every cube and re-count particles.
+    let mut seen = 0usize;
+    for (cube, ids) in tree.level_cubes(3) {
+        let (cells, receipt) = table.get(&cube.partition_key());
+        assert_eq!(cells.len(), ids.len(), "cube {cube:?}");
+        assert_eq!(receipt.cells_returned as usize, ids.len());
+        seen += cells.len();
+    }
+    assert_eq!(seen, 2_000);
+}
+
+#[test]
+fn column_index_threshold_is_46_bytes_times_1424() {
+    // The workspace-wide contract tying schema, store and Figure 6.
+    let sizes = vec![1_424u64, 1_425];
+    let parts = partitions_with_sizes(&sizes, 4);
+    let mut table = Table::new(TableOptions::default());
+    for (pk, cells) in parts {
+        for cell in cells {
+            table.put(pk.clone(), cell);
+        }
+    }
+    table.flush();
+    let keys: Vec<PartitionKey> = {
+        let parts = partitions_with_sizes(&sizes, 4);
+        parts.into_iter().map(|(pk, _)| pk).collect()
+    };
+    let (_, below): (Vec<Cell>, ReadReceipt) = table.get(&keys[0]);
+    let (_, above) = table.get(&keys[1]);
+    assert!(!below.used_column_index, "1424 cells must not be indexed");
+    assert!(above.used_column_index, "1425 cells must be indexed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Morton encoding keeps spatial containment: refining a position to a
+    /// deeper level stays inside the parent cube's code prefix.
+    #[test]
+    fn morton_levels_nest(x in 0.0f64..1.0, y in 0.0f64..1.0, z in 0.0f64..1.0,
+                          level in 1u8..8) {
+        let pos = [x, y, z];
+        let parent = morton_at(pos, level);
+        let child = morton_at(pos, level + 1);
+        // Dropping the child's finest 3 bits must give the parent code.
+        prop_assert_eq!(child >> 3, parent);
+    }
+
+    /// Every data model, at any dataset size, covers each element exactly
+    /// once with dense ids and the paper's cells-per-partition ratio.
+    #[test]
+    fn data_models_partition_exactly(total in 1u64..30_000) {
+        for model in DataModel::ALL {
+            let parts = model.build_partitions(total, 4);
+            let covered = parts.iter().map(|(_, c)| c.len() as u64).sum::<u64>();
+            let whole = (total / model.cells_per_partition()) * model.cells_per_partition();
+            prop_assert!(covered == whole.max(total.min(model.cells_per_partition())),
+                "{model:?}: covered {covered} of {total}");
+            // No duplicate partition keys.
+            let mut keys: Vec<_> = parts.iter().map(|(pk, _)| pk.clone()).collect();
+            keys.sort();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), parts.len());
+        }
+    }
+
+    /// The store returns exactly what was written for arbitrary partition
+    /// layouts (sizes drawn 1..600, several partitions).
+    #[test]
+    fn store_roundtrips_arbitrary_layouts(sizes in proptest::collection::vec(1u64..600, 1..8)) {
+        let parts = partitions_with_sizes(&sizes, 4);
+        let mut table = Table::new(TableOptions::default());
+        for (pk, cells) in &parts {
+            for cell in cells {
+                table.put(pk.clone(), cell.clone());
+            }
+        }
+        table.flush();
+        for (pk, cells) in &parts {
+            let (read, _) = table.get(pk);
+            prop_assert_eq!(&read, cells);
+        }
+    }
+
+    /// Formula 1's expected max load is an upper-ish bound: the empirical
+    /// mean max load never exceeds it by more than a small margin.
+    #[test]
+    fn keymax_tracks_monte_carlo(keys in 20u64..400, nodes in 2u64..32) {
+        use kvscale::balance::simulation::{max_load_density, Placement};
+        let mut rng = RngHub::new(11).stream_indexed("prop", keys ^ (nodes << 32));
+        let density = max_load_density(keys, nodes as usize, Placement::SingleChoice, 300, &mut rng);
+        let predicted = keymax(keys as f64, nodes);
+        prop_assert!(density.mean() <= predicted * 1.25 + 1.5,
+            "empirical {} vs keymax {}", density.mean(), predicted);
+        prop_assert!(density.mean() >= keys as f64 / nodes as f64,
+            "max load below the uniform share");
+    }
+}
