@@ -70,6 +70,9 @@ impl Csv {
 
     /// Writes the file and reports the path on stdout.
     pub fn finish(self) {
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir).expect("create figure directory");
+        }
         let mut f = fs::File::create(&self.path).expect("create figure CSV");
         f.write_all(self.out.as_bytes()).expect("write figure CSV");
         println!("\n[csv] {}", self.path.display());

@@ -13,7 +13,12 @@
 //! message like Java's `ObjectOutputStream`; [`CodecKind::Compact`] writes a
 //! registered one-byte class id and varint fields like Kryo. The CPU cost
 //! of encoding on the paper's hardware is *modelled* (we are not running a
-//! 2010 JVM), with the paper's measured per-message constants.
+//! 2010 JVM), with the paper's measured per-message constants — and, so
+//! that *live* runs (`cluster::live`, `kvs-net`) also observe the gap, the
+//! verbose paths additionally perform the real per-message work the paper
+//! attributes to that stack: field-by-field debug-log formatting and a
+//! redundant integrity pass over every message (`verbose_stack_overhead`
+//! below).
 
 use crate::messages::{QueryRequest, QueryResponse};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -74,6 +79,7 @@ impl Codec {
                 buf.put_u64(req.request_id);
                 put_str(&mut buf, "partition");
                 put_bytes_field(&mut buf, req.partition.as_bytes());
+                verbose_stack_overhead(&buf, "tx-req");
             }
             CodecKind::Compact => {
                 buf.put_u8(CLASS_REQUEST);
@@ -89,6 +95,7 @@ impl Codec {
     pub fn decode_request(&self, mut bytes: Bytes) -> Option<QueryRequest> {
         match self.kind {
             CodecKind::Verbose => {
+                verbose_stack_overhead(&bytes, "rx-req");
                 expect_str(&mut bytes, "org.kvscale.proto.QueryRequest")?;
                 expect_str(&mut bytes, "serialVersionUID")?;
                 if bytes.remaining() < 8 {
@@ -146,6 +153,7 @@ impl Codec {
                     put_str(&mut buf, "java.lang.Long");
                     buf.put_u64(count);
                 }
+                verbose_stack_overhead(&buf, "tx-resp");
             }
             CodecKind::Compact => {
                 buf.put_u8(CLASS_RESPONSE);
@@ -165,6 +173,7 @@ impl Codec {
     pub fn decode_response(&self, mut bytes: Bytes) -> Option<QueryResponse> {
         match self.kind {
             CodecKind::Verbose => {
+                verbose_stack_overhead(&bytes, "rx-resp");
                 expect_str(&mut bytes, "org.kvscale.proto.QueryResponse")?;
                 expect_str(&mut bytes, "serialVersionUID")?;
                 if bytes.remaining() < 8 {
@@ -233,6 +242,36 @@ impl Codec {
 
 const CLASS_REQUEST: u8 = 0x01;
 const CLASS_RESPONSE: u8 = 0x02;
+
+/// How many per-message passes the verbose stack makes over each message:
+/// serializer field logging, transport trace logging, an integrity
+/// checksum on send, and a redundant re-verification (§V-B blames exactly
+/// this combination — "logging messages" and "integrity checks" — for the
+/// 150 µs verbose cost).
+const VERBOSE_STACK_PASSES: usize = 4;
+
+/// The real per-message CPU work of the paper's verbose stack, performed
+/// so that live and socket-path runs *measure* a higher `t_msg` for
+/// [`CodecKind::Verbose`] instead of merely modelling one: each pass
+/// formats a field-by-field debug-log record (log4j-style) and folds every
+/// byte into an FNV integrity checksum. The output is kept out of the wire
+/// format — only the CPU cost is observable.
+fn verbose_stack_overhead(payload: &[u8], op: &str) {
+    use std::fmt::Write as _;
+    for pass in 0..VERBOSE_STACK_PASSES {
+        let mut log = String::with_capacity(payload.len() * 3 + 64);
+        let mut check: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, chunk) in payload.chunks(8).enumerate() {
+            let mut word = 0u64;
+            for &b in chunk {
+                word = (word << 8) | b as u64;
+                check = (check ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let _ = write!(log, "{op} pass={pass} field[{i}]={word:016x} ");
+        }
+        std::hint::black_box((log, check));
+    }
+}
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u16(s.len() as u16);

@@ -28,6 +28,8 @@
 //! * [`data`] — DHT data placement: partitions → ring → per-node tables.
 //! * [`policy`] — replica-selection policies (primary-only, random,
 //!   round-robin, least-loaded).
+//! * [`queue`] — bounded work queues with observable backpressure, shared
+//!   by the live executor and the `kvs-net` TCP slaves.
 //! * [`sim`], [`result`], [`live`].
 
 pub mod codec;
@@ -36,6 +38,7 @@ pub mod data;
 pub mod live;
 pub mod messages;
 pub mod policy;
+pub mod queue;
 pub mod result;
 pub mod sim;
 pub mod usl;
@@ -45,5 +48,6 @@ pub use config::{ClusterConfig, DbConfig, GcConfig, MasterConfig, NetworkConfig,
 pub use data::ClusterData;
 pub use messages::{QueryRequest, QueryResponse};
 pub use policy::ReplicaPolicy;
+pub use queue::QueueStats;
 pub use result::RunResult;
 pub use sim::{db_microbench, run_open_loop, run_query, OpenLoopResult};

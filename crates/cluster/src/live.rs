@@ -2,9 +2,9 @@
 //!
 //! Where [`crate::sim`] replays the paper's hardware, this module runs the
 //! prototype *for real*: each slave node is a pool of worker threads owning
-//! a [`kvs_store::Table`] behind a mutex, crossbeam channels play the
-//! network, and the four methodology stages are measured with wall-clock
-//! timestamps. It demonstrates that the methodology (stage tracing →
+//! a [`kvs_store::Table`] behind a mutex, bounded work queues
+//! ([`crate::queue`]) play the network, and the four methodology stages are
+//! measured with wall-clock timestamps. It demonstrates that the methodology (stage tracing →
 //! bottleneck classification → model fitting) is not tied to the simulator;
 //! the `live_cluster` example and the integration tests drive it.
 //!
@@ -20,6 +20,7 @@
 use crate::codec::Codec;
 use crate::data::ClusterData;
 use crate::messages::{QueryRequest, QueryResponse};
+use crate::queue::{work_queue, QueueStats};
 use crate::result::RunResult;
 use bytes::Bytes;
 use kvs_simcore::{SimDuration, SimTime};
@@ -36,6 +37,10 @@ pub struct LiveConfig {
     pub codec: Codec,
     /// Worker threads per slave node (the database executor width).
     pub workers_per_node: usize,
+    /// Per-node work-queue capacity. A full queue makes the master's
+    /// dispatch block (counted in [`QueueStats::blocked_pushes`]), so
+    /// in-queue saturation is observable instead of silently absorbed.
+    pub queue_depth: usize,
 }
 
 impl Default for LiveConfig {
@@ -43,6 +48,7 @@ impl Default for LiveConfig {
         LiveConfig {
             codec: Codec::compact(),
             workers_per_node: 4,
+            queue_depth: 64,
         }
     }
 }
@@ -79,21 +85,25 @@ pub fn run_query_live(data: ClusterData, keys: &[PartitionKey], cfg: LiveConfig)
         .collect();
     let tables = data.into_tables();
 
+    // The response path is unbounded on purpose: the master issues every
+    // request before collecting, so a bounded response channel would
+    // deadlock against a full request queue. Backpressure lives on the
+    // request path, where in-queue saturation is the quantity of interest.
     let (resp_tx, resp_rx) = crossbeam::channel::unbounded::<WireResponse>();
-    let mut req_txs = Vec::with_capacity(nodes as usize);
+    let mut req_queues = Vec::with_capacity(nodes as usize);
     let mut handles = Vec::new();
     for (node, table) in tables.into_iter().enumerate() {
-        let (tx, rx) = crossbeam::channel::unbounded::<WireRequest>();
-        req_txs.push(tx);
+        let (queue, source) = work_queue::<WireRequest>(cfg.queue_depth.max(1));
+        req_queues.push(queue);
         let table = Arc::new(Mutex::new(table));
         for _ in 0..cfg.workers_per_node.max(1) {
-            let rx = rx.clone();
+            let source = source.clone();
             let resp_tx = resp_tx.clone();
             let table = table.clone();
             let codec = cfg.codec;
             let node = node as u32;
             handles.push(std::thread::spawn(move || {
-                for wire in rx {
+                while let Some(wire) = source.recv() {
                     let db_start = Instant::now();
                     let req = codec
                         .decode_request(wire.bytes)
@@ -135,13 +145,13 @@ pub fn run_query_live(data: ClusterData, keys: &[PartitionKey], cfg: LiveConfig)
         bytes_to_slaves += bytes.len() as u64;
         let sent_at = Instant::now();
         send_last = sent_at;
-        req_txs[routes[i] as usize]
-            .send(WireRequest {
+        req_queues[routes[i] as usize]
+            .push_blocking(WireRequest {
                 bytes,
                 issued_at: origin,
                 sent_at,
             })
-            .expect("slave hung up before the query finished");
+            .unwrap_or_else(|_| panic!("slave hung up before the query finished"));
     }
 
     // ---- Master: collect every response. ----
@@ -184,8 +194,12 @@ pub fn run_query_live(data: ClusterData, keys: &[PartitionKey], cfg: LiveConfig)
         total_cells += response.cells;
     }
 
-    // Closing the request channels ends the worker loops.
-    drop(req_txs);
+    // Closing the request queues ends the worker loops.
+    let mut queue_stats = QueueStats::default();
+    for q in &req_queues {
+        queue_stats.merge(&q.stats());
+    }
+    drop(req_queues);
     for h in handles {
         h.join().expect("worker thread panicked");
     }
@@ -205,6 +219,7 @@ pub fn run_query_live(data: ClusterData, keys: &[PartitionKey], cfg: LiveConfig)
             send_last.saturating_duration_since(origin).as_nanos() as u64
         ),
         failovers: 0,
+        queue: Some(queue_stats),
     }
 }
 
@@ -263,6 +278,7 @@ mod tests {
             LiveConfig {
                 codec: Codec::verbose(),
                 workers_per_node: 2,
+                queue_depth: 64,
             },
         );
         let c = run_query_live(
@@ -271,9 +287,39 @@ mod tests {
             LiveConfig {
                 codec: Codec::compact(),
                 workers_per_node: 2,
+                queue_depth: 64,
             },
         );
         assert!(v.bytes_to_slaves > c.bytes_to_slaves * 4);
         assert_eq!(v.counts_by_kind, c.counts_by_kind);
+    }
+
+    #[test]
+    fn queue_stats_reported() {
+        let (data, keys) = live_data(2, 30, 4);
+        let result = run_query_live(data, &keys, LiveConfig::default());
+        let q = result.queue.expect("live runs report queue stats");
+        assert_eq!(q.pushed, 30);
+        assert_eq!(q.busy_rejections, 0, "push_blocking never rejects");
+    }
+
+    #[test]
+    fn tiny_queue_makes_saturation_observable() {
+        // One worker per node and a depth-1 queue: the master must outpace
+        // the slaves, so some dispatches block and the counters show it.
+        let (data, keys) = live_data(1, 64, 32);
+        let result = run_query_live(
+            data,
+            &keys,
+            LiveConfig {
+                codec: Codec::verbose(),
+                workers_per_node: 1,
+                queue_depth: 1,
+            },
+        );
+        let q = result.queue.expect("live runs report queue stats");
+        assert_eq!(q.pushed, 64);
+        assert!(q.saturated(), "depth-1 queue never filled: {q:?}");
+        assert_eq!(result.total_cells, 64 * 32);
     }
 }

@@ -1,0 +1,292 @@
+//! Bounded work queues with *observable* backpressure.
+//!
+//! The paper's methodology hinges on the `in-queue` stage being a real,
+//! measurable quantity. An unbounded channel hides saturation: requests
+//! pile up silently and the only symptom is a growing in-queue time. A
+//! bounded queue makes the pressure explicit — producers either block
+//! (and the block is counted) or are refused outright (a `Busy` reply on
+//! the wire). Both the in-process [`crate::live`] executor and the TCP
+//! `kvs-net` slave servers run their worker pools behind this type, so
+//! the two executors report saturation identically.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters shared by all handles of one queue.
+#[derive(Debug, Default)]
+struct Counters {
+    pushed: AtomicU64,
+    busy_rejections: AtomicU64,
+    blocked_pushes: AtomicU64,
+    max_depth: AtomicUsize,
+}
+
+/// A point-in-time snapshot of a queue's backpressure counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Items accepted into the queue.
+    pub pushed: u64,
+    /// Offers refused because the queue was full ([`WorkQueue::try_push`]).
+    pub busy_rejections: u64,
+    /// Blocking pushes that found the queue full and had to wait
+    /// ([`WorkQueue::push_blocking`]).
+    pub blocked_pushes: u64,
+    /// High-water mark of the queue depth, observed at push time.
+    pub max_depth: usize,
+}
+
+impl QueueStats {
+    /// Folds another queue's counters into this one (sum counts, max the
+    /// high-water mark) — for per-node queues reported as one figure.
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.pushed += other.pushed;
+        self.busy_rejections += other.busy_rejections;
+        self.blocked_pushes += other.blocked_pushes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+
+    /// True when the queue ever refused or delayed a producer.
+    pub fn saturated(&self) -> bool {
+        self.busy_rejections > 0 || self.blocked_pushes > 0
+    }
+}
+
+/// Producer handle of a bounded work queue.
+pub struct WorkQueue<T> {
+    tx: Sender<T>,
+    counters: Arc<Counters>,
+    capacity: usize,
+}
+
+/// Consumer handle of a bounded work queue.
+pub struct WorkSource<T> {
+    rx: Receiver<T>,
+    counters: Arc<Counters>,
+}
+
+/// Creates a bounded queue of at most `capacity` in-flight items.
+///
+/// # Panics
+/// If `capacity == 0`.
+pub fn work_queue<T>(capacity: usize) -> (WorkQueue<T>, WorkSource<T>) {
+    assert!(capacity > 0, "work queue needs capacity ≥ 1");
+    let (tx, rx) = bounded(capacity);
+    let counters = Arc::new(Counters::default());
+    (
+        WorkQueue {
+            tx,
+            counters: counters.clone(),
+            capacity,
+        },
+        WorkSource { rx, counters },
+    )
+}
+
+impl<T> WorkQueue<T> {
+    /// Offers an item without blocking. Returns it back when the queue is
+    /// full (counted as a busy rejection — the caller replies `Busy` or
+    /// retries) or when all consumers are gone.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        match self.tx.try_send(item) {
+            Ok(()) => {
+                self.note_push();
+                Ok(())
+            }
+            Err(TrySendError::Full(item)) => {
+                self.counters
+                    .busy_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(item)
+            }
+            Err(TrySendError::Disconnected(item)) => Err(item),
+        }
+    }
+
+    /// Pushes an item, blocking while the queue is full. A push that had
+    /// to wait is counted, making silent saturation visible in
+    /// [`QueueStats::blocked_pushes`]. Returns the item back only when all
+    /// consumers are gone.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        match self.tx.try_send(item) {
+            Ok(()) => {
+                self.note_push();
+                Ok(())
+            }
+            Err(TrySendError::Full(item)) => {
+                self.counters.blocked_pushes.fetch_add(1, Ordering::Relaxed);
+                match self.tx.send(item) {
+                    Ok(()) => {
+                        self.note_push();
+                        Ok(())
+                    }
+                    Err(e) => Err(e.0),
+                }
+            }
+            Err(TrySendError::Disconnected(item)) => Err(item),
+        }
+    }
+
+    fn note_push(&self) {
+        self.counters.pushed.fetch_add(1, Ordering::Relaxed);
+        let depth = self.tx.len();
+        self.counters.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the backpressure counters.
+    pub fn stats(&self) -> QueueStats {
+        self.counters.snapshot()
+    }
+}
+
+impl<T> Clone for WorkQueue<T> {
+    fn clone(&self) -> Self {
+        WorkQueue {
+            tx: self.tx.clone(),
+            counters: self.counters.clone(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<T> WorkSource<T> {
+    /// Takes the next item, blocking until one arrives; `None` once all
+    /// producers are gone and the queue drained.
+    pub fn recv(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Takes the next item, waiting at most `timeout`; `None` on timeout
+    /// or disconnection.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Some(v),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Snapshot of the backpressure counters.
+    pub fn stats(&self) -> QueueStats {
+        self.counters.snapshot()
+    }
+}
+
+impl<T> Clone for WorkSource<T> {
+    fn clone(&self) -> Self {
+        WorkSource {
+            rx: self.rx.clone(),
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+impl Counters {
+    fn snapshot(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.pushed.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            blocked_pushes: self.blocked_pushes.load(Ordering::Relaxed),
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_push_refuses_when_full() {
+        let (q, src) = work_queue(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        let s = q.stats();
+        assert_eq!(s.pushed, 2);
+        assert_eq!(s.busy_rejections, 1);
+        assert!(s.saturated());
+        assert_eq!(src.recv(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn blocking_push_counts_waits() {
+        let (q, src) = work_queue(1);
+        q.push_blocking(10u32).unwrap();
+        let consumer = {
+            let src = src.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let mut got = Vec::new();
+                while let Some(v) = src.recv() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        q.push_blocking(11).unwrap(); // must wait for the consumer
+        drop(q);
+        drop(src);
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![10, 11]);
+    }
+
+    #[test]
+    fn blocked_pushes_observable() {
+        let (q, src) = work_queue(1);
+        q.push_blocking(1).unwrap();
+        let src2 = src.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            src2.recv()
+        });
+        q.push_blocking(2).unwrap();
+        assert_eq!(t.join().unwrap(), Some(1));
+        let s = q.stats();
+        assert_eq!(s.pushed, 2);
+        assert!(s.blocked_pushes >= 1, "{s:?}");
+        assert_eq!(src.recv(), Some(2));
+    }
+
+    #[test]
+    fn recv_none_after_producers_gone() {
+        let (q, src) = work_queue(4);
+        q.try_push(1).unwrap();
+        drop(q);
+        assert_eq!(src.recv(), Some(1));
+        assert_eq!(src.recv(), None);
+        assert_eq!(src.recv_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn stats_merge_sums_and_maxes() {
+        let mut a = QueueStats {
+            pushed: 5,
+            busy_rejections: 1,
+            blocked_pushes: 0,
+            max_depth: 3,
+        };
+        a.merge(&QueueStats {
+            pushed: 7,
+            busy_rejections: 0,
+            blocked_pushes: 2,
+            max_depth: 9,
+        });
+        assert_eq!(a.pushed, 12);
+        assert_eq!(a.busy_rejections, 1);
+        assert_eq!(a.blocked_pushes, 2);
+        assert_eq!(a.max_depth, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = work_queue::<u8>(0);
+    }
+}

@@ -28,6 +28,9 @@ pub struct RunResult {
     pub issue_span: SimDuration,
     /// Failover retries performed (failure-injection runs; 0 when healthy).
     pub failovers: u64,
+    /// Slave work-queue backpressure counters, merged over all nodes.
+    /// `None` for the simulator, whose queueing is modelled analytically.
+    pub queue: Option<crate::queue::QueueStats>,
 }
 
 impl RunResult {
@@ -83,6 +86,7 @@ mod tests {
             bytes_to_master: 0,
             issue_span: SimDuration::ZERO,
             failovers: 0,
+            queue: None,
         }
     }
 

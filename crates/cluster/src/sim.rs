@@ -338,6 +338,7 @@ pub fn run_query(
         bytes_to_master,
         issue_span,
         failovers: state.failovers,
+        queue: None,
     }
 }
 

@@ -49,6 +49,8 @@ pub use kvs_balance as balance;
 pub use kvs_cluster as cluster;
 /// Re-export: the analytical performance model.
 pub use kvs_model as model;
+/// Re-export: the TCP master/slave engine and `t_msg` calibration.
+pub use kvs_net as net;
 /// Re-export: the discrete-event simulation substrate.
 pub use kvs_simcore as simcore;
 /// Re-export: stage tracing and bottleneck classification.

@@ -1,0 +1,380 @@
+//! The wire frame: length-prefixed, checksummed, timestamped.
+//!
+//! Every message on a `kvs-net` connection travels inside one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic        0x4B56 ("KV")
+//!      2     1  version      1
+//!      3     1  kind         1 = request, 2 = response, 3 = busy
+//!      4     1  flags        bit 0: payload encoded with the compact codec
+//!      5     8  id           request id (present even in busy frames, so
+//!                            the master can retry without decoding bodies)
+//!     13     4  len          payload length in bytes
+//!     17    32  stamps[4]    wall-clock nanoseconds since the UNIX epoch;
+//!                            meaning depends on `kind` (see below)
+//!     49     4  checksum     CRC-32 (IEEE) over bytes [0, 49) + payload
+//!     53   len  payload      codec-encoded body (empty for busy frames)
+//! ```
+//!
+//! Integers are big-endian. The CRC covers the header (with the checksum
+//! field itself zeroed) and the payload, so any single-bit corruption
+//! anywhere in the frame is detected.
+//!
+//! Timestamp conventions:
+//! * request — `stamps[0]` query issue time, `stamps[1]` master send time;
+//! * response — `stamps[0]` echoes the request's send time, `stamps[1]`
+//!   worker dequeue (= in-db start), `stamps[2]` in-db end, `stamps[3]`
+//!   slave send time;
+//! * busy — `stamps[0]` echoes the request's send time.
+//!
+//! The carried wall-clock stamps are comparable across processes on the
+//! same host (the loopback deployments this crate targets); the master
+//! turns them into the four methodology stages.
+
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+
+/// Frame magic, "KV".
+pub const MAGIC: u16 = 0x4B56;
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes, checksum included.
+pub const HEADER_LEN: usize = 53;
+/// Upper bound on payload size — malformed length prefixes fail fast
+/// instead of provoking giant allocations.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Flag bit 0: the payload was encoded with the compact codec.
+pub const FLAG_COMPACT: u8 = 0b0000_0001;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Master → slave query request.
+    Request,
+    /// Slave → master query response.
+    Response,
+    /// Slave → master refusal: the work queue was full. The master should
+    /// back off and retry the id.
+    Busy,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+            FrameKind::Busy => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Request),
+            2 => Some(FrameKind::Response),
+            3 => Some(FrameKind::Busy),
+            _ => None,
+        }
+    }
+}
+
+/// Why a byte sequence is not a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// The CRC does not match: the frame was corrupted in flight.
+    BadChecksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// Codec and future option bits.
+    pub flags: u8,
+    /// The request id this frame belongs to.
+    pub id: u64,
+    /// Wall-clock nanosecond stamps (see the module docs for semantics).
+    pub stamps: [u64; 4],
+    /// The codec-encoded body.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Serializes the frame, header + checksum + payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        out.push(self.kind.to_byte());
+        out.push(self.flags);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        for s in self.stamps {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        let mut crc = Crc32::new();
+        crc.update(&out);
+        crc.update(&self.payload);
+        out.extend_from_slice(&crc.finish().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Tries to decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(Some((frame, consumed)))` on success,
+    /// `Ok(None)` when `buf` is a (possibly empty) prefix of a frame and
+    /// more bytes are needed, and `Err` when the bytes can never become a
+    /// valid frame. Never panics, whatever the input.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+        if buf.len() < HEADER_LEN {
+            // Validate what we can see so garbage fails fast.
+            if buf.len() >= 2 && buf[..2] != MAGIC.to_be_bytes() {
+                return Err(FrameError::BadMagic);
+            }
+            if buf.len() >= 3 && buf[2] != VERSION {
+                return Err(FrameError::BadVersion(buf[2]));
+            }
+            if buf.len() >= 4 && FrameKind::from_byte(buf[3]).is_none() {
+                return Err(FrameError::BadKind(buf[3]));
+            }
+            return Ok(None);
+        }
+        if buf[..2] != MAGIC.to_be_bytes() {
+            return Err(FrameError::BadMagic);
+        }
+        if buf[2] != VERSION {
+            return Err(FrameError::BadVersion(buf[2]));
+        }
+        let kind = FrameKind::from_byte(buf[3]).ok_or(FrameError::BadKind(buf[3]))?;
+        let flags = buf[4];
+        let id = u64::from_be_bytes(buf[5..13].try_into().expect("8 bytes"));
+        let len = u32::from_be_bytes(buf[13..17].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge(len));
+        }
+        let total = HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let mut stamps = [0u64; 4];
+        for (i, s) in stamps.iter_mut().enumerate() {
+            *s = u64::from_be_bytes(buf[17 + i * 8..25 + i * 8].try_into().expect("8 bytes"));
+        }
+        let declared = u32::from_be_bytes(buf[49..53].try_into().expect("4 bytes"));
+        let mut crc = Crc32::new();
+        crc.update(&buf[..49]);
+        crc.update(&buf[HEADER_LEN..total]);
+        if crc.finish() != declared {
+            return Err(FrameError::BadChecksum);
+        }
+        Ok(Some((
+            Frame {
+                kind,
+                flags,
+                id,
+                stamps,
+                payload: Bytes::copy_from_slice(&buf[HEADER_LEN..total]),
+            },
+            total,
+        )))
+    }
+
+    /// Writes the frame to a stream in one call.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Reads exactly one frame from a stream, blocking as needed.
+    /// Malformed bytes surface as `InvalidData`.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Frame> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        // Header-only validation first, so we know how much payload to read.
+        match Frame::decode(&header) {
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            Ok(Some((frame, _))) => return Ok(frame), // empty payload
+            Ok(None) => {}
+        }
+        let len = u32::from_be_bytes(header[13..17].try_into().expect("4 bytes")) as usize;
+        let mut buf = Vec::with_capacity(HEADER_LEN + len);
+        buf.extend_from_slice(&header);
+        buf.resize(HEADER_LEN + len, 0);
+        r.read_exact(&mut buf[HEADER_LEN..])?;
+        match Frame::decode(&buf) {
+            Ok(Some((frame, consumed))) => {
+                debug_assert_eq!(consumed, buf.len());
+                Ok(frame)
+            }
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame decoder made no progress",
+            )),
+            Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+    }
+}
+
+/// Incremental CRC-32 (IEEE 802.3, polynomial 0xEDB88320), computed
+/// bitwise — fast enough for loopback frames and dependency-free.
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u32;
+            for _ in 0..8 {
+                let mask = (self.state & 1).wrapping_neg();
+                self.state = (self.state >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            kind: FrameKind::Response,
+            flags: FLAG_COMPACT,
+            id: 0xDEAD_BEEF,
+            stamps: [1, 2, 3, u64::MAX],
+            payload: Bytes::copy_from_slice(b"hello frames"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 — the standard check value.
+        let mut c = Crc32::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let bytes = f.encode();
+        let (decoded, consumed) = Frame::decode(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn decode_from_concatenated_stream() {
+        let a = sample();
+        let b = Frame {
+            kind: FrameKind::Busy,
+            flags: 0,
+            id: 7,
+            stamps: [9, 0, 0, 0],
+            payload: Bytes::new(),
+        };
+        let mut stream = a.encode();
+        stream.extend_from_slice(&b.encode());
+        let (da, used) = Frame::decode(&stream).unwrap().unwrap();
+        assert_eq!(da, a);
+        let (db, used_b) = Frame::decode(&stream[used..]).unwrap().unwrap();
+        assert_eq!(db, b);
+        assert_eq!(used + used_b, stream.len());
+    }
+
+    #[test]
+    fn every_prefix_wants_more_bytes() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Frame::decode(&bytes[..cut]),
+                Ok(None),
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_a_frame() {
+        // A flipped length byte may legitimately turn into "need more
+        // bytes" (`Ok(None)`); what corruption must never produce is a
+        // successfully decoded frame.
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                !matches!(Frame::decode(&bad), Ok(Some(_))),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut bytes = sample().encode();
+        bytes[13..17].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::TooLarge(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn stream_read_write() {
+        let mut wire = Vec::new();
+        sample().write_to(&mut wire).unwrap();
+        let mut cursor = &wire[..];
+        let got = Frame::read_from(&mut cursor).unwrap();
+        assert_eq!(got, sample());
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn stream_read_empty_payload() {
+        let busy = Frame {
+            kind: FrameKind::Busy,
+            flags: 0,
+            id: 42,
+            stamps: [5, 0, 0, 0],
+            payload: Bytes::new(),
+        };
+        let wire = busy.encode();
+        assert_eq!(wire.len(), HEADER_LEN);
+        let mut cursor = &wire[..];
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), busy);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # kvs-net
+//!
+//! The paper's master/slave aggregation query over real TCP sockets. Where
+//! `kvs-cluster`'s [`sim`](kvs_cluster::sim) replays the hardware and its
+//! [`live`](kvs_cluster::live) executor runs on in-process channels, this
+//! crate puts the same query on the wire:
+//!
+//! * [`frame`] — the length-prefixed, CRC-checksummed frame format that
+//!   carries codec-encoded bodies plus the wall-clock timestamps the four
+//!   methodology stages are reconstructed from;
+//! * [`server`] — [`SlaveServer`]: a TCP front-end over one node's
+//!   [`kvs_store::Table`], with a bounded work queue
+//!   ([`kvs_cluster::queue`]) that answers `Busy` when saturated and a
+//!   worker pool of the paper's per-node parallelism;
+//! * [`master`] — [`NetMaster`]: a connection pool over all slaves with
+//!   per-request deadlines and bounded retries, producing the same
+//!   [`kvs_cluster::RunResult`] as the other two executors;
+//! * [`local`] — [`spawn_local_cluster`]: N servers on ephemeral loopback
+//!   ports with deterministic shutdown, for tests and benchmarks;
+//! * [`calibrate`] — [`calibrate_t_msg`]: measures the per-message master
+//!   cost on the real socket path, producing a [`kvs_model::MasterModel`]
+//!   so the Figure 11 saturation sweep can re-run on measured constants.
+
+pub mod calibrate;
+pub mod clock;
+pub mod frame;
+pub mod local;
+pub mod master;
+pub mod server;
+
+pub use calibrate::{calibrate_t_msg, TMsgCalibration};
+pub use frame::{Frame, FrameError, FrameKind};
+pub use local::{spawn_local_cluster, LocalCluster};
+pub use master::{NetConfig, NetMaster, NetRunReport};
+pub use server::{NetServerConfig, SlaveHandle, SlaveServer};

@@ -1,0 +1,89 @@
+//! In-process loopback clusters: N slave servers on ephemeral ports, one
+//! per node of a [`ClusterData`] placement, with deterministic teardown.
+//! This is the harness the integration tests, the calibration path, and
+//! the `net_loadgen` benchmark all boot.
+
+use crate::server::{NetServerConfig, SlaveHandle, SlaveServer};
+use kvs_cluster::queue::QueueStats;
+use kvs_cluster::ClusterData;
+use kvs_store::PartitionKey;
+use std::io;
+use std::net::SocketAddr;
+
+/// A running set of slave servers.
+pub struct LocalCluster {
+    slaves: Vec<SlaveHandle>,
+}
+
+impl LocalCluster {
+    /// The servers' addresses, indexed by node id (feed to
+    /// [`crate::NetMaster::connect`]).
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.slaves.iter().map(|s| s.addr()).collect()
+    }
+
+    /// Number of slave servers.
+    pub fn len(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// True when the cluster has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.slaves.is_empty()
+    }
+
+    /// Work-queue backpressure counters merged over every server.
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut merged = QueueStats::default();
+        for s in &self.slaves {
+            merged.merge(&s.queue_stats());
+        }
+        merged
+    }
+
+    /// Stops every server deterministically (disconnect masters first so
+    /// the connection readers see EOF immediately; they also poll a stop
+    /// flag, so shutdown completes regardless). Returns the merged queue
+    /// stats.
+    pub fn shutdown(self) -> QueueStats {
+        let mut merged = QueueStats::default();
+        for s in self.slaves {
+            merged.merge(&s.shutdown());
+        }
+        merged
+    }
+}
+
+/// Boots one slave server per node of `data` on ephemeral loopback ports.
+///
+/// Returns the cluster plus the routed key list — every partition paired
+/// with its primary node, in placement order — ready for
+/// [`crate::NetMaster::run_query`].
+pub fn spawn_local_cluster(
+    data: ClusterData,
+    cfg: NetServerConfig,
+) -> io::Result<(LocalCluster, Vec<(PartitionKey, u32)>)> {
+    let routes: Vec<(PartitionKey, u32)> = data
+        .partitions()
+        .map(|(pk, _cells)| {
+            let node = data
+                .primary_of(pk)
+                .unwrap_or_else(|| panic!("unplaced partition {pk:?}"));
+            (pk.clone(), node)
+        })
+        .collect();
+    let mut slaves = Vec::new();
+    for table in data.into_tables() {
+        match SlaveServer::spawn(table, cfg) {
+            Ok(handle) => slaves.push(handle),
+            Err(e) => {
+                // Don't leak the servers that did boot.
+                for s in slaves {
+                    s.shutdown();
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok((LocalCluster { slaves }, routes))
+}

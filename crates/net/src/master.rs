@@ -1,0 +1,413 @@
+//! The network master: a connection pool over every slave, the paper's
+//! "fire all requests, then drain responses" query loop, and the stage
+//! bookkeeping that turns frame timestamps into a
+//! [`kvs_cluster::RunResult`].
+//!
+//! Reliability model: one TCP connection per slave, a reader thread per
+//! connection funneling frames into one channel, per-request deadlines,
+//! and bounded retries. A `Busy` frame (slave queue full) schedules a
+//! quick retry that does not consume the failure budget; a deadline
+//! expiry re-sends the request at most [`NetConfig::max_retries`] times.
+//! Either way a request that makes no progress within
+//! `timeout × (max_retries + 1)` of wall clock fails the query.
+
+use crate::clock::wall_ns;
+use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use kvs_cluster::{Codec, CodecKind, QueryRequest, RunResult};
+use kvs_simcore::{SimDuration, SimTime};
+use kvs_stages::{analyze, Stage, TraceRecorder};
+use kvs_store::PartitionKey;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Master-side configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Request/response serialization (advertised per frame; slaves answer
+    /// in kind).
+    pub codec: Codec,
+    /// Per-request deadline before a retry is issued.
+    pub timeout: Duration,
+    /// How many times one request may be re-sent after a *timeout* before
+    /// the query errors out. `Busy` replies are flow control, not
+    /// failures: they retry without consuming this budget, bounded
+    /// instead by the request's overall wall-clock allowance of
+    /// `timeout × (max_retries + 1)`.
+    pub max_retries: u32,
+    /// Back-off before retrying a request a slave answered `Busy` to.
+    pub busy_backoff: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            codec: Codec::compact(),
+            timeout: Duration::from_secs(2),
+            max_retries: 8,
+            busy_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// What a network query run reports beyond the shared [`RunResult`]:
+/// master-side per-message costs (the calibration inputs) and the retry
+/// counters.
+#[derive(Debug)]
+pub struct NetRunReport {
+    /// The standard run outcome (traces, stage report, aggregates).
+    pub result: RunResult,
+    /// Master CPU+syscall time spent encoding/framing/writing requests, µs.
+    pub tx_micros: u64,
+    /// Master CPU+syscall time spent decoding responses, µs.
+    pub rx_micros: u64,
+    /// Requests re-sent because a slave answered `Busy`.
+    pub busy_retries: u64,
+    /// Requests re-sent because their deadline expired.
+    pub timeout_retries: u64,
+}
+
+impl NetRunReport {
+    /// Measured master send cost per message, µs (the paper's `t_msg`).
+    pub fn tx_us_per_msg(&self) -> f64 {
+        self.tx_micros as f64 / self.result.messages.max(1) as f64
+    }
+
+    /// Measured master receive cost per message, µs.
+    pub fn rx_us_per_msg(&self) -> f64 {
+        self.rx_micros as f64 / self.result.messages.max(1) as f64
+    }
+}
+
+struct Pending {
+    node: u32,
+    payload: Bytes,
+    attempts: u32,
+    sent_wall: u64,
+    issued_wall: u64,
+    /// Next retry instant (timeout, or busy back-off when `busy`).
+    deadline: Instant,
+    /// Hard wall-clock limit for this request across all retries.
+    expires: Instant,
+    /// The last resend trigger was a `Busy` frame (for counter accounting
+    /// and the retry budget).
+    busy: bool,
+}
+
+/// A connected master.
+pub struct NetMaster {
+    writers: Vec<TcpStream>,
+    rx: Receiver<(u32, Frame)>,
+    readers: Vec<JoinHandle<()>>,
+    cfg: NetConfig,
+}
+
+impl NetMaster {
+    /// Connects to every slave; `addrs[i]` must be node `i`'s server.
+    pub fn connect(addrs: &[SocketAddr], cfg: NetConfig) -> io::Result<NetMaster> {
+        let (tx, rx) = unbounded::<(u32, Frame)>();
+        let mut writers = Vec::with_capacity(addrs.len());
+        let mut readers = Vec::with_capacity(addrs.len());
+        for (node, addr) in addrs.iter().enumerate() {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            let mut read_half = stream.try_clone()?;
+            writers.push(stream);
+            let tx = tx.clone();
+            let node = node as u32;
+            readers.push(std::thread::spawn(move || loop {
+                match Frame::read_from(&mut read_half) {
+                    Ok(frame) => {
+                        if tx.send((node, frame)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // connection closed or corrupted
+                }
+            }));
+        }
+        Ok(NetMaster {
+            writers,
+            rx,
+            readers,
+            cfg,
+        })
+    }
+
+    /// Runs the aggregation query: issues one request per `(partition,
+    /// node)` pair, then drains responses. All keys are known up front, as
+    /// in the paper's simple case.
+    pub fn run_query(&mut self, keys: &[(PartitionKey, u32)]) -> io::Result<NetRunReport> {
+        self.run_with_arrivals(keys, None)
+    }
+
+    /// Like [`NetMaster::run_query`], but each request `i` is released
+    /// only once `arrivals_ns[i]` nanoseconds have elapsed since the run
+    /// started — the open-loop load generator's entry point. `None` means
+    /// release everything immediately (closed batch).
+    pub fn run_with_arrivals(
+        &mut self,
+        keys: &[(PartitionKey, u32)],
+        arrivals_ns: Option<&[u64]>,
+    ) -> io::Result<NetRunReport> {
+        if let Some(a) = arrivals_ns {
+            assert_eq!(a.len(), keys.len(), "one arrival offset per key");
+        }
+        let flags = match self.cfg.codec.kind {
+            CodecKind::Compact => FLAG_COMPACT,
+            CodecKind::Verbose => 0,
+        };
+        let origin_wall = wall_ns();
+        let origin = Instant::now();
+        let to_sim = |w: u64| SimTime::from_nanos(w.saturating_sub(origin_wall));
+
+        let mut pending: HashMap<u64, Pending> = HashMap::with_capacity(keys.len());
+        let mut tx_micros = 0u64;
+        let mut rx_micros = 0u64;
+        let mut busy_retries = 0u64;
+        let mut timeout_retries = 0u64;
+        let mut bytes_to_slaves = 0u64;
+        let mut bytes_to_master = 0u64;
+        let mut send_last = origin;
+
+        // ---- Issue phase. ----
+        for (i, (pk, node)) in keys.iter().enumerate() {
+            if let Some(arrivals) = arrivals_ns {
+                let due = Duration::from_nanos(arrivals[i]);
+                loop {
+                    let elapsed = origin.elapsed();
+                    if elapsed >= due {
+                        break;
+                    }
+                    let gap = due - elapsed;
+                    if gap > Duration::from_micros(100) {
+                        std::thread::sleep(gap - Duration::from_micros(50));
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            let issued_wall = match arrivals_ns {
+                Some(a) => origin_wall + a[i],
+                None => origin_wall,
+            };
+            let t0 = Instant::now();
+            let payload = self.cfg.codec.encode_request(&QueryRequest {
+                request_id: i as u64,
+                partition: pk.clone(),
+            });
+            let sent_wall = wall_ns();
+            let frame = Frame {
+                kind: FrameKind::Request,
+                flags,
+                id: i as u64,
+                stamps: [issued_wall, sent_wall, 0, 0],
+                payload: payload.clone(),
+            };
+            self.write_frame(*node, &frame)?;
+            tx_micros += t0.elapsed().as_micros() as u64;
+            send_last = Instant::now();
+            bytes_to_slaves += payload.len() as u64;
+            pending.insert(
+                i as u64,
+                Pending {
+                    node: *node,
+                    payload,
+                    attempts: 1,
+                    sent_wall,
+                    issued_wall,
+                    deadline: send_last + self.cfg.timeout,
+                    expires: send_last + self.cfg.timeout * (self.cfg.max_retries + 1),
+                    busy: false,
+                },
+            );
+        }
+
+        // ---- Collect phase. ----
+        let mut recorder = TraceRecorder::new();
+        let mut counts: BTreeMap<u8, u64> = BTreeMap::new();
+        let mut total_cells = 0u64;
+        while !pending.is_empty() {
+            let nearest = pending
+                .values()
+                .map(|p| p.deadline)
+                .min()
+                .expect("non-empty pending");
+            let wait = nearest
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(100));
+            match self.rx.recv_timeout(wait) {
+                Ok((node, frame)) => match frame.kind {
+                    FrameKind::Response => {
+                        let t0 = Instant::now();
+                        let Some(response) = self.cfg.codec.decode_response(frame.payload.clone())
+                        else {
+                            continue; // checksummed but undecodable: let the retry path handle it
+                        };
+                        let done_wall = wall_ns();
+                        rx_micros += t0.elapsed().as_micros() as u64;
+                        let Some(p) = pending.remove(&frame.id) else {
+                            continue; // duplicate (a retry raced its original)
+                        };
+                        bytes_to_master += frame.payload.len() as u64;
+                        let id = frame.id;
+                        recorder.begin(id, node, response.cells);
+                        recorder.record(
+                            id,
+                            Stage::MasterToSlave,
+                            to_sim(p.issued_wall),
+                            to_sim(p.sent_wall),
+                        );
+                        recorder.record(
+                            id,
+                            Stage::InQueue,
+                            to_sim(frame.stamps[0]),
+                            to_sim(frame.stamps[1]),
+                        );
+                        recorder.record(
+                            id,
+                            Stage::InDb,
+                            to_sim(frame.stamps[1]),
+                            to_sim(frame.stamps[2]),
+                        );
+                        recorder.record(
+                            id,
+                            Stage::SlaveToMaster,
+                            to_sim(frame.stamps[2]),
+                            to_sim(done_wall),
+                        );
+                        for (&kind, &count) in &response.counts {
+                            *counts.entry(kind).or_insert(0) += count;
+                        }
+                        total_cells += response.cells;
+                    }
+                    FrameKind::Busy => {
+                        if let Some(p) = pending.get_mut(&frame.id) {
+                            // Pull the deadline in: retry after a short
+                            // back-off through the common expiry path.
+                            p.busy = true;
+                            p.deadline = Instant::now() + self.cfg.busy_backoff;
+                        }
+                    }
+                    FrameKind::Request => {} // protocol violation; ignore
+                },
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "every slave connection dropped mid-query",
+                    ));
+                }
+            }
+
+            // ---- Retry expired requests. ----
+            let now = Instant::now();
+            let expired: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.deadline <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                let p = pending.get_mut(&id).expect("expired id present");
+                // Busy resends are flow control and don't consume the
+                // timeout budget, but every request has a hard wall-clock
+                // allowance so a wedged slave still surfaces as an error.
+                let exhausted = if p.busy {
+                    now >= p.expires
+                } else {
+                    p.attempts > self.cfg.max_retries
+                };
+                if exhausted {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "request {id} to node {} failed after {} attempts",
+                            p.node, p.attempts
+                        ),
+                    ));
+                }
+                if p.busy {
+                    busy_retries += 1;
+                } else {
+                    timeout_retries += 1;
+                    p.attempts += 1;
+                }
+                p.busy = false;
+                let t0 = Instant::now();
+                let sent_wall = wall_ns();
+                let frame = Frame {
+                    kind: FrameKind::Request,
+                    flags,
+                    id,
+                    stamps: [p.issued_wall, sent_wall, 0, 0],
+                    payload: p.payload.clone(),
+                };
+                let node = p.node;
+                p.sent_wall = sent_wall;
+                p.deadline = Instant::now() + self.cfg.timeout;
+                bytes_to_slaves += p.payload.len() as u64;
+                self.write_frame(node, &frame)?;
+                tx_micros += t0.elapsed().as_micros() as u64;
+            }
+        }
+
+        let traces = recorder.into_traces();
+        let report = analyze(&traces);
+        Ok(NetRunReport {
+            result: RunResult {
+                makespan: report.makespan,
+                report,
+                traces,
+                counts_by_kind: counts,
+                total_cells,
+                messages: keys.len() as u64,
+                bytes_to_slaves,
+                bytes_to_master,
+                issue_span: SimDuration::from_nanos(
+                    send_last.saturating_duration_since(origin).as_nanos() as u64,
+                ),
+                failovers: 0,
+                queue: None,
+            },
+            tx_micros,
+            rx_micros,
+            busy_retries,
+            timeout_retries,
+        })
+    }
+
+    fn write_frame(&mut self, node: u32, frame: &Frame) -> io::Result<()> {
+        let writer = self.writers.get_mut(node as usize).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no connection for node {node}"),
+            )
+        })?;
+        frame.write_to(writer)
+    }
+
+    /// Closes every connection and joins the reader threads.
+    pub fn shutdown(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        for w in &self.writers {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        self.writers.clear();
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetMaster {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -1,0 +1,262 @@
+//! The slave server: a TCP front-end over one node's [`kvs_store::Table`].
+//!
+//! Layout per server:
+//!
+//! * one **accept loop** on an ephemeral loopback port;
+//! * one **reader thread per connection**, deframing requests and offering
+//!   them to the bounded work queue — a full queue answers with a `Busy`
+//!   frame immediately instead of absorbing load silently;
+//! * a fixed pool of **worker threads** (`workers_per_node`, the paper's
+//!   per-node database parallelism) draining the queue: decode the
+//!   request, read the store, encode the response, write it back with the
+//!   stage timestamps (`in-queue` start/end, `in-db` start/end) stamped
+//!   into the frame header.
+//!
+//! Shutdown is deterministic: [`SlaveHandle::shutdown`] stops the accept
+//! loop, joins every connection reader (their sockets poll a stop flag),
+//! drops the queue producers so workers drain and exit, and joins the
+//! pool. No thread or socket outlives the call.
+
+use crate::clock::wall_ns;
+use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
+use kvs_cluster::queue::{work_queue, QueueStats, WorkQueue};
+use kvs_cluster::{Codec, QueryResponse};
+use kvs_store::Table;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Slave server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Worker threads per server (the database executor width). The codec
+    /// is not configured here: each frame declares its own encoding and
+    /// the server answers in kind.
+    pub workers_per_node: usize,
+    /// Work-queue capacity; a full queue replies `Busy`.
+    pub queue_depth: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            workers_per_node: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// How long connection readers block before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+struct Job {
+    frame: Frame,
+    conn: Arc<Mutex<TcpStream>>,
+}
+
+/// A running slave server; dropping the handle without calling
+/// [`SlaveHandle::shutdown`] leaks the server threads, so call it.
+pub struct SlaveServer;
+
+/// Handle to a spawned slave server.
+pub struct SlaveHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: WorkQueue<Job>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SlaveServer {
+    /// Boots a server owning `table` on an ephemeral loopback port.
+    pub fn spawn(table: Table, cfg: NetServerConfig) -> io::Result<SlaveHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (queue, source) = work_queue::<Job>(cfg.queue_depth.max(1));
+        let table = Arc::new(Mutex::new(table));
+
+        let mut workers = Vec::with_capacity(cfg.workers_per_node.max(1));
+        for _ in 0..cfg.workers_per_node.max(1) {
+            let source = source.clone();
+            let table = table.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Some(job) = source.recv() {
+                    serve(&table, job);
+                }
+            }));
+        }
+
+        let conn_threads: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let accept_thread = {
+            let stop = stop.clone();
+            let queue = queue.clone();
+            let conn_threads = conn_threads.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let (stream, _peer) = match listener.accept() {
+                        Ok(pair) => pair,
+                        Err(_) => continue,
+                    };
+                    if stop.load(Ordering::Acquire) {
+                        break; // the shutdown wake-up connection
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(READ_POLL));
+                    let queue = queue.clone();
+                    let stop = stop.clone();
+                    let handle = std::thread::spawn(move || read_connection(stream, queue, stop));
+                    conn_threads.lock().expect("conn registry").push(handle);
+                }
+            })
+        };
+
+        Ok(SlaveHandle {
+            addr,
+            stop,
+            queue,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+            workers,
+        })
+    }
+}
+
+/// One connection's read loop: deframe, enqueue, reply `Busy` on overflow.
+///
+/// Reads into a growable buffer and decodes incrementally — the socket has
+/// a short read timeout (so shutdown can interrupt an idle connection), and
+/// a timeout must not lose the bytes of a partially received frame.
+fn read_connection(stream: TcpStream, queue: WorkQueue<Job>, stop: Arc<AtomicBool>) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Mutex::new(stream));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match io::Read::read(&mut reader, &mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match Frame::decode(&buf) {
+                        Ok(Some((frame, used))) => {
+                            buf.drain(..used);
+                            dispatch(frame, &queue, &conn);
+                        }
+                        Ok(None) => break, // need more bytes
+                        Err(_) => return,  // corrupted stream: drop the conn
+                    }
+                }
+            }
+            Err(e) if would_block(&e) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one decoded frame: requests go to the queue, a full queue gets an
+/// immediate `Busy` reply, anything else is a protocol violation, dropped.
+fn dispatch(frame: Frame, queue: &WorkQueue<Job>, conn: &Arc<Mutex<TcpStream>>) {
+    if frame.kind != FrameKind::Request {
+        return;
+    }
+    let sent_stamp = frame.stamps[1];
+    let id = frame.id;
+    let flags = frame.flags;
+    if let Err(_job) = queue.try_push(Job {
+        frame,
+        conn: conn.clone(),
+    }) {
+        // Queue full: tell the master now rather than letting the request
+        // age invisibly.
+        let busy = Frame {
+            kind: FrameKind::Busy,
+            flags,
+            id,
+            stamps: [sent_stamp, wall_ns(), 0, 0],
+            payload: bytes::Bytes::new(),
+        };
+        let _ = busy.write_to(&mut *conn.lock());
+    }
+}
+
+fn would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Worker body: decode → store read → encode → reply with stage stamps.
+fn serve(table: &Mutex<Table>, job: Job) {
+    let dequeued = wall_ns();
+    let codec = if job.frame.flags & FLAG_COMPACT != 0 {
+        Codec::compact()
+    } else {
+        Codec::verbose()
+    };
+    let Some(request) = codec.decode_request(job.frame.payload.clone()) else {
+        return; // checksummed frame with an undecodable body: drop it
+    };
+    let (cells, _receipt) = table.lock().get(&request.partition);
+    let response = QueryResponse::from_kinds(request.request_id, cells.iter().map(|c| c.kind));
+    let db_end = wall_ns();
+    let reply = Frame {
+        kind: FrameKind::Response,
+        flags: job.frame.flags,
+        id: job.frame.id,
+        stamps: [job.frame.stamps[1], dequeued, db_end, wall_ns()],
+        payload: codec.encode_response(&response),
+    };
+    // The master may have hung up; nothing useful to do about it here.
+    let _ = reply.write_to(&mut *job.conn.lock());
+}
+
+impl SlaveHandle {
+    /// The server's loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Backpressure counters of this server's work queue.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Stops the server deterministically and returns the final queue
+    /// stats. Joins the accept loop, every connection reader, and the
+    /// worker pool — nothing survives the call.
+    pub fn shutdown(mut self) -> QueueStats {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn registry"));
+        for h in conns {
+            let _ = h.join();
+        }
+        let stats = self.queue.stats();
+        // Workers exit once every queue producer is gone.
+        let SlaveHandle { queue, workers, .. } = self;
+        drop(queue);
+        for h in workers {
+            let _ = h.join();
+        }
+        stats
+    }
+}

@@ -1,0 +1,86 @@
+//! Truncation/corruption safety of the wire frame, in the same spirit as
+//! `kvs-cluster`'s codec property tests: whatever bytes arrive, the
+//! decoder returns "need more", an error, or a valid frame — it never
+//! panics, and corrupted input never decodes successfully.
+
+use bytes::Bytes;
+use kvs_net::frame::{Frame, FrameKind};
+use proptest::prelude::*;
+
+fn build(kind_sel: u8, flags: u8, id: u64, stamps: (u64, u64, u64, u64), payload: &[u8]) -> Frame {
+    let kind = match kind_sel % 3 {
+        0 => FrameKind::Request,
+        1 => FrameKind::Response,
+        _ => FrameKind::Busy,
+    };
+    Frame {
+        kind,
+        flags,
+        id,
+        stamps: [stamps.0, stamps.1, stamps.2, stamps.3],
+        payload: Bytes::copy_from_slice(payload),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn roundtrips(kind_sel in any::<u8>(),
+                  flags in any::<u8>(),
+                  id in any::<u64>(),
+                  stamps in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                  payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let frame = build(kind_sel, flags, id, stamps, &payload);
+        let wire = frame.encode();
+        let (decoded, used) = Frame::decode(&wire).expect("valid").expect("complete");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn any_prefix_asks_for_more_never_panics(kind_sel in any::<u8>(),
+                                             id in any::<u64>(),
+                                             payload in proptest::collection::vec(any::<u8>(), 0..200),
+                                             cut in 0usize..600) {
+        let wire = build(kind_sel, 0, id, (1, 2, 3, 4), &payload).encode();
+        let cut = cut.min(wire.len() - 1);
+        // A strict prefix of a valid frame is always "need more bytes".
+        prop_assert_eq!(Frame::decode(&wire[..cut]), Ok(None));
+    }
+
+    #[test]
+    fn corruption_never_decodes(kind_sel in any::<u8>(),
+                                id in any::<u64>(),
+                                payload in proptest::collection::vec(any::<u8>(), 0..200),
+                                pos in any::<usize>(),
+                                mask in 1u8..=255) {
+        let mut wire = build(kind_sel, 7, id, (9, 8, 7, 6), &payload).encode();
+        let pos = pos % wire.len();
+        wire[pos] ^= mask;
+        // The CRC (or the header validation) must reject the flip — the
+        // worst acceptable outcome is "need more bytes" after a length
+        // field grew.
+        prop_assert!(!matches!(Frame::decode(&wire), Ok(Some(_))),
+                     "corruption at byte {} accepted", pos);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Any outcome is fine; reaching this line without a panic is the
+        // property.
+        let _ = Frame::decode(&data);
+        prop_assert!(true);
+    }
+
+    #[test]
+    fn truncated_streams_error_cleanly(kind_sel in any::<u8>(),
+                                       payload in proptest::collection::vec(any::<u8>(), 1..200),
+                                       cut in 0usize..600) {
+        let wire = build(kind_sel, 1, 42, (1, 2, 3, 4), &payload).encode();
+        let cut = cut.min(wire.len().saturating_sub(1));
+        let mut stream = &wire[..cut];
+        // A stream that ends mid-frame is an io error, not a panic.
+        prop_assert!(Frame::read_from(&mut stream).is_err());
+    }
+}

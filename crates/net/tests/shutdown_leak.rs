@@ -1,0 +1,36 @@
+//! Clean-shutdown check: booting and tearing down a cluster + master must
+//! return the process to its original thread count. Lives in its own test
+//! binary (= its own process) so no sibling test's threads pollute the
+//! count.
+
+use kvs_cluster::data::uniform_partitions;
+use kvs_cluster::ClusterData;
+use kvs_net::{spawn_local_cluster, NetConfig, NetMaster, NetServerConfig};
+use kvs_store::TableOptions;
+
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs available");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line present")
+}
+
+#[test]
+fn shutdown_leaks_no_threads() {
+    let before = thread_count();
+    for round in 0..3 {
+        let data = ClusterData::load(4, 1, TableOptions::default(), uniform_partitions(32, 8, 4));
+        let (cluster, routes) =
+            spawn_local_cluster(data, NetServerConfig::default()).expect("cluster boots");
+        let mut master =
+            NetMaster::connect(&cluster.addrs(), NetConfig::default()).expect("master connects");
+        let report = master.run_query(&routes).expect("query succeeds");
+        assert_eq!(report.result.total_cells, 32 * 8, "round {round}");
+        assert!(thread_count() > before, "servers must actually run threads");
+        master.shutdown();
+        cluster.shutdown();
+        assert_eq!(thread_count(), before, "threads leaked after round {round}");
+    }
+}

@@ -29,6 +29,7 @@ fn main() {
             LiveConfig {
                 codec: Codec::compact(),
                 workers_per_node: 4,
+                ..LiveConfig::default()
             },
         );
         println!(
@@ -67,6 +68,7 @@ fn main() {
             LiveConfig {
                 codec,
                 workers_per_node: 4,
+                ..LiveConfig::default()
             },
         );
         println!(

@@ -1,0 +1,329 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/builder surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`, `iter`/`iter_batched` — with a
+//! plain wall-clock measurement loop (warm-up, then timed samples, mean
+//! and min/max printed per benchmark). No statistics engine, HTML reports
+//! or CLI filtering; `--quick` and other flags are accepted and ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepts (and ignores) command-line arguments, for
+    /// `criterion_main!` parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing banner (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by the shim; each
+/// iteration runs its own setup, excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and size the inner loop so one sample is ≥ ~50 µs.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let iters_per_sample;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                let per_iter_ns = dt.as_nanos().max(1) as u64;
+                iters_per_sample = (50_000 / per_iter_ns).max(1);
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        sample_size,
+        warm_up,
+        measurement,
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let n = bencher.samples_ns.len() as f64;
+    let mean = bencher.samples_ns.iter().sum::<f64>() / n;
+    let min = bencher.samples_ns.iter().cloned().fold(f64::MAX, f64::min);
+    let max = bencher.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group, in either the simple or the configured
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

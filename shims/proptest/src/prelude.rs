@@ -1,0 +1,6 @@
+//! The glob-import surface test files use: `use proptest::prelude::*;`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
+    ProptestConfig, Strategy,
+};

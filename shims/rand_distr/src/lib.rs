@@ -1,0 +1,155 @@
+//! Offline stand-in for `rand_distr`: the exponential, normal and
+//! log-normal distributions this workspace samples, over the vendored
+//! `rand` shim. Inverse-transform (Exp) and Box-Muller (Normal) sampling —
+//! slower than upstream's ziggurat but bit-deterministic and adequate for
+//! simulation workloads.
+
+pub use rand::distributions::Distribution;
+use rand::distributions::Standard;
+use rand::RngCore;
+
+/// Parameter error for the constructors (mirrors upstream's per-type
+/// errors; one shared type suffices here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution; `λ` must be positive and
+    /// finite.
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform; 1 − u ∈ (0, 1] keeps ln() finite.
+        let u: f64 = Standard.sample(rng);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be non-negative and
+    /// finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, ParamError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError("Normal std_dev must be ≥ 0 and finite"))
+        }
+    }
+}
+
+/// One standard-normal draw via Box-Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = Standard.sample(rng);
+    let u2: f64 = Standard.sample(rng);
+    // Guard u1 = 0 (ln(0) = −∞): shift into (0, 1].
+    let r = (-2.0 * (1.0 - u1).ln()).sqrt();
+    r * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(µ, σ))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with location `µ` and scale `σ`
+    /// (parameters of the underlying normal); `σ` must be non-negative and
+    /// finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal sigma must be ≥ 0 and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Exp::new(0.5).unwrap(); // mean 2
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(samples[0] > 0.0);
+        // Median of LogNormal(µ, σ) is e^µ.
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - 1.0f64.exp()).abs() < 0.1,
+            "median {median} vs {}",
+            1.0f64.exp()
+        );
+    }
+}

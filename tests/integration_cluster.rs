@@ -103,6 +103,7 @@ fn wire_bytes_depend_on_codec_not_executor() {
             LiveConfig {
                 codec,
                 workers_per_node: 2,
+                ..LiveConfig::default()
             },
         );
         assert_eq!(
