@@ -1,0 +1,217 @@
+//! chaos_drill — the PR's acceptance scenario as a runnable figure.
+//!
+//! Boots a 3-node, rf = 3 loopback cluster behind [`kvs_net::ChaosProxy`]
+//! interposers, blackholes node 0 from the first byte (fixed seed), and
+//! runs the aggregation query twice: once healthy (passthrough proxies)
+//! and once degraded. It then replays the same failure in `cluster::sim`
+//! with `NodeFailure` and reports how close the measured degradation
+//! lands to the simulator's prediction — the cross-validation that ties
+//! the TCP engine's failover behaviour back to the paper's model.
+//!
+//! Knobs (environment):
+//! - `KVSCALE_DRILL_PARTITIONS` — partitions / requests (default 48)
+//! - `KVSCALE_DRILL_CELLS` — values per partition (default 8)
+//!
+//! Output: a per-stage table for both runs and
+//! `target/figures/chaos_drill.csv`.
+
+use kvs_bench::{banner, fmt_ms, Csv};
+use kvs_cluster::config::NodeFailure;
+use kvs_cluster::data::uniform_partitions;
+use kvs_cluster::sim::run_query;
+use kvs_cluster::{ClusterConfig, ClusterData, ReplicaPolicy};
+use kvs_net::{
+    spawn_local_cluster, wrap_cluster, ChaosSchedule, NetConfig, NetMaster, NetRunReport,
+    NetServerConfig,
+};
+use kvs_simcore::SimDuration;
+use kvs_stages::Stage;
+use kvs_store::TableOptions;
+use std::time::Duration;
+
+const NODES: u32 = 3;
+const RF: usize = 3;
+const VICTIM: u32 = 0;
+const SEED: u64 = 0xD211;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn data(partitions: u64, cells: u64) -> ClusterData {
+    ClusterData::load(
+        NODES,
+        RF,
+        TableOptions::default(),
+        uniform_partitions(partitions, cells, 4),
+    )
+}
+
+/// One measured run behind proxies carrying the given schedules.
+fn measured_run(
+    partitions: u64,
+    cells: u64,
+    net_cfg: NetConfig,
+    schedules: Vec<ChaosSchedule>,
+) -> (NetRunReport, u64) {
+    let (cluster, routes) =
+        spawn_local_cluster(data(partitions, cells), NetServerConfig::default())
+            .expect("cluster boots");
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, net_cfg).expect("master connects");
+    let report = master.run_query(&routes).expect("query succeeds");
+    master.shutdown();
+    let mut blackholed = 0;
+    for p in proxies {
+        let s = p.shutdown();
+        blackholed += s.blackholed;
+        assert_eq!(s.seq_regressions, 0, "master send sequence regressed");
+    }
+    cluster.shutdown();
+    (report, blackholed)
+}
+
+fn print_stages(label: &str, report: &NetRunReport, stage_ms: &mut [f64; 4]) {
+    println!(
+        "{label}: makespan {}  failovers {}  suspected dead {:?}  retry wait {:.1} ms",
+        report.result.makespan, report.failovers, report.suspected_dead, report.retry_wait_ms
+    );
+    for (i, stage) in Stage::ALL.into_iter().enumerate() {
+        if let Some(stats) = report.result.report.per_stage_ms.get(&stage) {
+            stage_ms[i] = stats.mean();
+            println!(
+                "    {:>18}: mean {:>9.3} ms   max {:>9.3} ms",
+                stage.name(),
+                stats.mean(),
+                stats.max()
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let partitions = env_u64("KVSCALE_DRILL_PARTITIONS", 48).max(1);
+    let cells = env_u64("KVSCALE_DRILL_CELLS", 8).max(1);
+    banner(
+        "chaos_drill",
+        "blackholed replica: measured failover vs simulated NodeFailure",
+    );
+    let net_cfg = NetConfig {
+        timeout: Duration::from_millis(100),
+        max_retries: 1,
+        replica_policy: ReplicaPolicy::Primary,
+        ..NetConfig::default()
+    };
+    let detection = net_cfg.timeout * (net_cfg.max_retries + 1);
+    println!(
+        "\n{NODES} nodes, rf = {RF}, {partitions} partitions × {cells} cells; \
+         node {VICTIM} blackholed from t = 0 (seed {SEED:#x}); \
+         detection window {detection:?}\n"
+    );
+
+    // Healthy baseline through passthrough proxies (identical path).
+    let passthrough = (0..NODES as u64).map(ChaosSchedule::passthrough).collect();
+    let (healthy, _) = measured_run(partitions, cells, net_cfg, passthrough);
+
+    // Degraded run: the victim's proxy swallows every byte.
+    let mut schedules = vec![ChaosSchedule::blackhole_at(SEED, Duration::ZERO)];
+    schedules.extend((1..NODES as u64).map(ChaosSchedule::passthrough));
+    let (degraded, blackholed) = measured_run(partitions, cells, net_cfg, schedules);
+
+    assert_eq!(
+        degraded.result.counts_by_kind, healthy.result.counts_by_kind,
+        "degraded run returned wrong values"
+    );
+    assert_eq!(degraded.result.total_cells, partitions * cells);
+    assert!(degraded.failovers > 0, "dead replica caused no failover");
+    assert!(blackholed > 0, "the blackhole swallowed nothing");
+
+    let mut healthy_ms = [0.0f64; 4];
+    let mut degraded_ms = [0.0f64; 4];
+    print_stages("healthy ", &healthy, &mut healthy_ms);
+    print_stages("degraded", &degraded, &mut degraded_ms);
+
+    // Simulator replay of the same scenario.
+    let mut cfg = ClusterConfig::paper_optimized_master(NODES).deterministic();
+    cfg.replication_factor = RF;
+    cfg.replica_policy = ReplicaPolicy::Primary;
+    cfg.failure_timeout = SimDuration::from_nanos(detection.as_nanos() as u64);
+    let mut sim_data = data(partitions, cells);
+    let keys: Vec<_> = (0..partitions)
+        .map(kvs_store::PartitionKey::from_id)
+        .collect();
+    let sim_healthy = run_query(&cfg, &mut sim_data, &keys);
+    let mut failing_cfg = cfg.clone();
+    failing_cfg.failures = vec![NodeFailure {
+        node: VICTIM,
+        at: SimDuration::ZERO,
+    }];
+    let mut sim_data = data(partitions, cells);
+    let sim_failed = run_query(&failing_cfg, &mut sim_data, &keys);
+
+    let measured_delta =
+        degraded.result.makespan.as_millis_f64() - healthy.result.makespan.as_millis_f64();
+    let predicted_delta =
+        sim_failed.makespan.as_millis_f64() - sim_healthy.makespan.as_millis_f64();
+    let relative_error = (measured_delta - predicted_delta).abs() / predicted_delta.max(1e-9);
+    println!(
+        "degradation: measured {} vs simulated {}  ({} relative error)",
+        fmt_ms(measured_delta),
+        fmt_ms(predicted_delta),
+        format_args!("{:.0}%", relative_error * 100.0)
+    );
+    println!(
+        "sim failovers {}  measured failovers {}",
+        sim_failed.failovers, degraded.failovers
+    );
+
+    let mut csv = Csv::new(
+        "chaos_drill",
+        &[
+            "run",
+            "makespan_ms",
+            "master_to_slave_ms",
+            "in_queue_ms",
+            "in_db_ms",
+            "slave_to_master_ms",
+            "failovers",
+            "suspected_dead",
+            "retry_wait_ms",
+            "blackholed_frames",
+            "degradation_ms",
+            "sim_degradation_ms",
+            "relative_error",
+        ],
+    );
+    for (run, report, stage_ms, holes) in [
+        ("healthy", &healthy, &healthy_ms, 0u64),
+        ("degraded", &degraded, &degraded_ms, blackholed),
+    ] {
+        csv.row(&[
+            &run,
+            &format!("{:.4}", report.result.makespan.as_millis_f64()),
+            &format!("{:.4}", stage_ms[0]),
+            &format!("{:.4}", stage_ms[1]),
+            &format!("{:.4}", stage_ms[2]),
+            &format!("{:.4}", stage_ms[3]),
+            &report.failovers,
+            // "+"-joined so a multi-node list stays one CSV cell.
+            &report
+                .suspected_dead
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            &format!("{:.4}", report.retry_wait_ms),
+            &holes,
+            &format!("{measured_delta:.4}"),
+            &format!("{predicted_delta:.4}"),
+            &format!("{relative_error:.4}"),
+        ]);
+    }
+    csv.finish();
+}

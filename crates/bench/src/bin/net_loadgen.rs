@@ -12,6 +12,13 @@
 //! - `KVSCALE_NET_RATE` — offered load, requests/second (default 4000)
 //! - `KVSCALE_NET_NODES` — slave servers (default 4)
 //!
+//! Flags:
+//! - `--chaos <schedule.toml>` — route every connection through a
+//!   [`kvs_net::ChaosProxy`] running the given fault schedule (format in
+//!   `docs/NET.md`), so the percentiles in `target/figures/` describe the
+//!   degraded mode. Replication is raised to 2 so injected faults are
+//!   survivable.
+//!
 //! Output: a table per codec and `target/figures/net_loadgen.csv`.
 
 use kvs_bench::{banner, elements_from_env, fmt_ms, Csv};
@@ -19,7 +26,10 @@ use kvs_cluster::data::uniform_partitions;
 use kvs_cluster::{ClusterData, Codec};
 use kvs_model::limits::{master_crossover, master_limit_sweep};
 use kvs_model::{DbModel, SystemModel};
-use kvs_net::{calibrate_t_msg, spawn_local_cluster, NetConfig, NetMaster, NetServerConfig};
+use kvs_net::{
+    calibrate_t_msg, spawn_local_cluster, wrap_cluster, ChaosSchedule, NetConfig, NetMaster,
+    NetServerConfig,
+};
 use kvs_simcore::stats::percentile_sorted;
 use kvs_stages::Stage;
 use kvs_store::TableOptions;
@@ -41,10 +51,32 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Parses `--chaos <schedule.toml>` from argv; exits on a bad file.
+fn chaos_from_args() -> Option<ChaosSchedule> {
+    let args: Vec<String> = std::env::args().collect();
+    let ix = args.iter().position(|a| a == "--chaos")?;
+    let path = args.get(ix + 1).unwrap_or_else(|| {
+        eprintln!("--chaos needs a schedule file argument");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read chaos schedule {path}: {e}");
+        std::process::exit(2);
+    });
+    match ChaosSchedule::parse(&text) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bad chaos schedule {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let requests = env_u64("KVSCALE_NET_REQUESTS", 4_000).max(1) as usize;
     let rate_rps = env_f64("KVSCALE_NET_RATE", 4_000.0).max(1.0);
     let nodes = env_u64("KVSCALE_NET_NODES", 4).clamp(1, 64) as u32;
+    let chaos = chaos_from_args();
     banner(
         "net_loadgen",
         "open-loop Poisson load on the TCP master/slave engine",
@@ -52,6 +84,14 @@ fn main() {
     println!(
         "\n{requests} requests/codec at {rate_rps:.0} req/s over {nodes} loopback slave servers\n"
     );
+    if let Some(s) = &chaos {
+        println!(
+            "chaos mode: seed {}, {} rule(s), blackhole {:?} — rf=2, degraded percentiles\n",
+            s.seed,
+            s.rules.len(),
+            s.blackhole_from
+        );
+    }
 
     // One Poisson arrival process, shared by both codec runs so they see
     // identical offered load.
@@ -80,32 +120,71 @@ fn main() {
             "slave_to_master_ms",
             "busy_retries",
             "timeout_retries",
+            "chaos",
+            "faults_injected",
+            "failovers",
         ],
     );
 
     for codec in [Codec::verbose(), Codec::compact()] {
+        // Under chaos, replicate so injected faults are survivable and
+        // shorten the failure-detection timeout so the run stays brisk.
+        let rf = if chaos.is_some() {
+            2.min(nodes as usize)
+        } else {
+            1
+        };
         let data = ClusterData::load(
             nodes,
-            1,
+            rf,
             TableOptions::default(),
             uniform_partitions(1_024, 32, 4),
         );
         let (cluster, routes) =
             spawn_local_cluster(data, NetServerConfig::default()).expect("cluster boots");
-        let mut master = NetMaster::connect(
-            &cluster.addrs(),
-            NetConfig {
-                codec,
-                ..NetConfig::default()
+        let mut proxies = Vec::new();
+        let addrs = match &chaos {
+            Some(schedule) => {
+                let schedules = vec![schedule.clone(); cluster.len()];
+                let (p, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+                proxies = p;
+                addrs
+            }
+            None => cluster.addrs(),
+        };
+        let net_cfg = NetConfig {
+            codec,
+            timeout: if chaos.is_some() {
+                std::time::Duration::from_millis(250)
+            } else {
+                NetConfig::default().timeout
             },
-        )
-        .expect("master connects");
+            max_retries: if chaos.is_some() {
+                3
+            } else {
+                NetConfig::default().max_retries
+            },
+            ..NetConfig::default()
+        };
+        let mut master = NetMaster::connect(&addrs, net_cfg).expect("master connects");
 
         let keys: Vec<_> = routes.iter().cycle().take(requests).cloned().collect();
         let report = master
             .run_with_arrivals(&keys, Some(&arrivals_ns))
             .expect("load run succeeds");
         master.shutdown();
+        let mut faults_injected = 0u64;
+        for p in proxies {
+            let s = p.shutdown();
+            faults_injected += s.delayed
+                + s.dropped
+                + s.duplicated
+                + s.truncated
+                + s.corrupted
+                + s.disconnects
+                + s.blackholed;
+            assert_eq!(s.seq_regressions, 0, "master send sequence regressed");
+        }
         let queue = cluster.shutdown();
 
         let mut latencies: Vec<f64> = report
@@ -133,6 +212,13 @@ fn main() {
             report.busy_retries,
             report.timeout_retries,
         );
+        if chaos.is_some() {
+            println!(
+                "    chaos: {} fault(s) injected, {} failover(s), retry wait {:.1} ms, \
+                 suspected dead {:?}",
+                faults_injected, report.failovers, report.retry_wait_ms, report.suspected_dead
+            );
+        }
         println!(
             "    latency p50 {}  p95 {}  p99 {}",
             fmt_ms(p50),
@@ -166,6 +252,9 @@ fn main() {
             &format!("{:.4}", stage_ms[3]),
             &report.busy_retries,
             &report.timeout_retries,
+            &(if chaos.is_some() { "on" } else { "off" }),
+            &faults_injected,
+            &report.failovers,
         ]);
     }
 

@@ -1,0 +1,188 @@
+//! Concurrent stress for [`kvs_cluster::queue`]: the bounded work queue
+//! under ≥ 4 producer threads mixing `try_push` and `push_blocking`,
+//! with consumers draining slowly enough to force both backpressure
+//! paths.
+//!
+//! What must hold under contention:
+//!
+//! * **conservation** — every item accepted (`pushed`) is consumed
+//!   exactly once; refused items (`busy_rejections`) are returned to the
+//!   caller, never enqueued;
+//! * **depth bound** — the observed high-water mark never exceeds the
+//!   configured capacity;
+//! * **counter consistency** — `pushed` equals the number of successful
+//!   push calls, `busy_rejections` the number of `Err` returns from
+//!   `try_push`, and the blocked/busy transition is actually exercised
+//!   (the queue reports `saturated()`).
+
+use kvs_cluster::queue::{work_queue, QueueStats};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const PRODUCERS: u64 = 6;
+const ITEMS_PER_PRODUCER: u64 = 500;
+const CAPACITY: usize = 8;
+const CONSUMERS: usize = 2;
+
+/// Tag items `(producer, sequence)` so the consumer side can prove each
+/// accepted item arrived exactly once and in per-producer order.
+type Item = (u64, u64);
+
+#[test]
+fn concurrent_producers_conserve_items_and_respect_capacity() {
+    let (queue, source) = work_queue::<Item>(CAPACITY);
+    let accepted = Arc::new(AtomicU64::new(0));
+    let refused = Arc::new(AtomicU64::new(0));
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let source = source.clone();
+            thread::spawn(move || {
+                let mut got: Vec<Item> = Vec::new();
+                while let Some(item) = source.recv() {
+                    // A slow consumer keeps the queue full so producers
+                    // hit both the busy and the blocked path.
+                    thread::sleep(Duration::from_micros(50));
+                    got.push(item);
+                }
+                got
+            })
+        })
+        .collect();
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let queue = queue.clone();
+            let accepted = accepted.clone();
+            let refused = refused.clone();
+            thread::spawn(move || {
+                for seq in 0..ITEMS_PER_PRODUCER {
+                    // Even producers block (every item lands), odd
+                    // producers offer (items may be refused — the wire
+                    // `Busy` path).
+                    if p % 2 == 0 {
+                        queue.push_blocking((p, seq)).expect("consumers alive");
+                        accepted.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        match queue.try_push((p, seq)) {
+                            Ok(()) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(item) => {
+                                assert_eq!(item, (p, seq), "refused item comes back intact");
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for t in producers {
+        t.join().expect("producer never panics");
+    }
+    let stats = queue.stats();
+    drop(queue); // close the channel so consumers drain and exit
+    drop(source);
+    let per_consumer: Vec<Vec<Item>> = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer never panics"))
+        .collect();
+    let consumed: Vec<Item> = per_consumer.iter().flatten().copied().collect();
+
+    // Each consumer sees an order-preserving subsequence of the channel,
+    // so a single producer's items must be increasing within any one
+    // consumer's stream.
+    for (ix, stream) in per_consumer.iter().enumerate() {
+        let mut last: BTreeMap<u64, u64> = BTreeMap::new();
+        for (p, seq) in stream {
+            if let Some(prev) = last.insert(*p, *seq) {
+                assert!(
+                    prev < *seq,
+                    "consumer {ix} saw producer {p} out of order ({prev} then {seq})"
+                );
+            }
+        }
+    }
+
+    let accepted = accepted.load(Ordering::Relaxed);
+    let refused = refused.load(Ordering::Relaxed);
+
+    // Conservation: accepted == pushed == consumed, refused == rejections.
+    assert_eq!(stats.pushed, accepted, "pushed counter matches Ok returns");
+    assert_eq!(
+        consumed.len() as u64,
+        accepted,
+        "every accepted item consumed exactly once"
+    );
+    assert_eq!(
+        stats.busy_rejections, refused,
+        "busy counter matches Err returns"
+    );
+    assert_eq!(
+        accepted + refused,
+        PRODUCERS * ITEMS_PER_PRODUCER,
+        "no item vanished without a verdict"
+    );
+
+    // Blocking producers always land every item.
+    let mut by_producer: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (p, seq) in &consumed {
+        by_producer.entry(*p).or_default().push(*seq);
+    }
+    for p in (0..PRODUCERS).filter(|p| p % 2 == 0) {
+        let seqs = by_producer.get(&p).expect("blocking producer delivered");
+        assert_eq!(seqs.len() as u64, ITEMS_PER_PRODUCER);
+    }
+    // No duplicates from anyone (offer path included).
+    for (p, seqs) in &by_producer {
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seqs.len(), "producer {p} item duplicated");
+    }
+
+    // Depth bound and the blocked/busy transition.
+    assert!(
+        stats.max_depth <= CAPACITY,
+        "high-water mark {} exceeds capacity {CAPACITY}",
+        stats.max_depth
+    );
+    assert!(
+        stats.saturated(),
+        "stress run never saturated the queue: {stats:?}"
+    );
+    assert!(
+        stats.blocked_pushes > 0,
+        "blocking path never waited: {stats:?}"
+    );
+    assert!(
+        stats.busy_rejections > 0,
+        "offer path never refused: {stats:?}"
+    );
+}
+
+/// Counter saturation: `merge` on stats far beyond any realistic run
+/// keeps sums exact (u64 arithmetic, no silent wrap in practice) and
+/// maxes the high-water mark.
+#[test]
+fn stats_merge_is_exact_at_large_magnitudes() {
+    let mut total = QueueStats::default();
+    let big = QueueStats {
+        pushed: u64::MAX / 4,
+        busy_rejections: u64::MAX / 8,
+        blocked_pushes: u64::MAX / 8,
+        max_depth: usize::MAX / 2,
+    };
+    total.merge(&big);
+    total.merge(&big);
+    assert_eq!(total.pushed, (u64::MAX / 4) * 2);
+    assert_eq!(total.busy_rejections, (u64::MAX / 8) * 2);
+    assert_eq!(total.blocked_pushes, (u64::MAX / 8) * 2);
+    assert_eq!(total.max_depth, usize::MAX / 2);
+    assert!(total.saturated());
+}

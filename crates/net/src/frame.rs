@@ -22,7 +22,11 @@
 //! anywhere in the frame is detected.
 //!
 //! Timestamp conventions:
-//! * request — `stamps[0]` query issue time, `stamps[1]` master send time;
+//! * request — `stamps[0]` query issue time, `stamps[1]` master send time,
+//!   `stamps[2]` the master's monotone send sequence number (not a
+//!   timestamp: it counts every request frame the master has written, so
+//!   interposers like [`crate::chaos::ChaosProxy`] can audit per-connection
+//!   send ordering);
 //! * response — `stamps[0]` echoes the request's send time, `stamps[1]`
 //!   worker dequeue (= in-db start), `stamps[2]` in-db end, `stamps[3]`
 //!   slave send time;

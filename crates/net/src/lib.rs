@@ -21,9 +21,15 @@
 //!   ports with deterministic shutdown, for tests and benchmarks;
 //! * [`calibrate`] — [`calibrate_t_msg`]: measures the per-message master
 //!   cost on the real socket path, producing a [`kvs_model::MasterModel`]
-//!   so the Figure 11 saturation sweep can re-run on measured constants.
+//!   so the Figure 11 saturation sweep can re-run on measured constants;
+//! * [`chaos`] — [`ChaosProxy`]: a deterministic fault-injection TCP
+//!   interposer (delay/drop/duplicate/truncate/corrupt/disconnect/
+//!   blackhole, driven by a seeded [`ChaosSchedule`]) that the robustness
+//!   suite places between master and slaves to exercise the failover
+//!   path under byte-accurate faults.
 
 pub mod calibrate;
+pub mod chaos;
 pub mod clock;
 pub mod frame;
 pub mod local;
@@ -31,7 +37,10 @@ pub mod master;
 pub mod server;
 
 pub use calibrate::{calibrate_t_msg, TMsgCalibration};
+pub use chaos::{
+    wrap_cluster, ChaosDirection, ChaosProxy, ChaosRule, ChaosSchedule, ChaosStats, FaultAction,
+};
 pub use frame::{Frame, FrameError, FrameKind};
 pub use local::{spawn_local_cluster, LocalCluster};
-pub use master::{NetConfig, NetMaster, NetRunReport};
+pub use master::{NetConfig, NetMaster, NetRunReport, Route};
 pub use server::{NetServerConfig, SlaveHandle, SlaveServer};

@@ -1,42 +1,144 @@
 //! In-process loopback clusters: N slave servers on ephemeral ports, one
 //! per node of a [`ClusterData`] placement, with deterministic teardown.
-//! This is the harness the integration tests, the calibration path, and
-//! the `net_loadgen` benchmark all boot.
+//! This is the harness the integration tests, the calibration path, the
+//! chaos suite, and the `net_loadgen` benchmark all boot.
+//!
+//! Slaves can be [`killed`](LocalCluster::kill) and
+//! [`restarted`](LocalCluster::restart) individually: a kill tears the
+//! server down (its connections drop, so a connected master sees EOF and
+//! fails over) but keeps the node's [`Table`], and a restart boots a new
+//! server over that same table on a fresh ephemeral port.
 
+use crate::master::Route;
 use crate::server::{NetServerConfig, SlaveHandle, SlaveServer};
 use kvs_cluster::queue::QueueStats;
 use kvs_cluster::ClusterData;
-use kvs_store::PartitionKey;
+use kvs_store::{Table, TableOptions};
 use std::io;
 use std::net::SocketAddr;
 
+/// One node's slot in the cluster: a running server, or a killed one
+/// whose data waits for a restart.
+enum Slot {
+    Up(SlaveHandle),
+    Down {
+        /// Last address the server listened on (now closed); kept so
+        /// [`LocalCluster::addrs`] stays stable-length while a node is
+        /// down.
+        addr: SocketAddr,
+        table: Table,
+    },
+}
+
 /// A running set of slave servers.
 pub struct LocalCluster {
-    slaves: Vec<SlaveHandle>,
+    slots: Vec<Slot>,
+    cfg: NetServerConfig,
+    /// Queue stats accumulated from servers that have been killed (their
+    /// live counters die with them).
+    downed_stats: QueueStats,
 }
 
 impl LocalCluster {
     /// The servers' addresses, indexed by node id (feed to
-    /// [`crate::NetMaster::connect`]).
+    /// [`crate::NetMaster::connect`]). A down node reports its last
+    /// address; connecting to it will fail until it is restarted.
     pub fn addrs(&self) -> Vec<SocketAddr> {
-        self.slaves.iter().map(|s| s.addr()).collect()
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Up(h) => h.addr(),
+                Slot::Down { addr, .. } => *addr,
+            })
+            .collect()
     }
 
-    /// Number of slave servers.
+    /// Number of slave servers (up or down).
     pub fn len(&self) -> usize {
-        self.slaves.len()
+        self.slots.len()
     }
 
     /// True when the cluster has no servers.
     pub fn is_empty(&self) -> bool {
-        self.slaves.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Work-queue backpressure counters merged over every server.
+    /// Whether node `node` currently has a running server.
+    pub fn is_up(&self, node: u32) -> bool {
+        matches!(self.slots.get(node as usize), Some(Slot::Up(_)))
+    }
+
+    /// Kills node `node`: shuts its server down (connected masters see
+    /// EOF immediately) but keeps its table for a later
+    /// [`LocalCluster::restart`]. No-op if the node is already down.
+    pub fn kill(&mut self, node: u32) {
+        let ix = node as usize;
+        assert!(ix < self.slots.len(), "no node {node}");
+        // Temporarily park a placeholder so we can move the handle out.
+        let slot = std::mem::replace(
+            &mut self.slots[ix],
+            Slot::Down {
+                addr: ([127, 0, 0, 1], 0).into(),
+                table: Table::new(TableOptions::default()),
+            },
+        );
+        self.slots[ix] = match slot {
+            Slot::Up(h) => {
+                let addr = h.addr();
+                let (stats, table) = h.shutdown_take_table();
+                self.downed_stats.merge(&stats);
+                Slot::Down { addr, table }
+            }
+            down => down,
+        };
+    }
+
+    /// Restarts a killed node on a fresh ephemeral port, serving the same
+    /// table it held when killed. Returns the new address. No-op (returns
+    /// the current address) if the node is already up.
+    pub fn restart(&mut self, node: u32) -> io::Result<SocketAddr> {
+        let ix = node as usize;
+        assert!(ix < self.slots.len(), "no node {node}");
+        if let Slot::Up(h) = &self.slots[ix] {
+            return Ok(h.addr());
+        }
+        let slot = std::mem::replace(
+            &mut self.slots[ix],
+            Slot::Down {
+                addr: ([127, 0, 0, 1], 0).into(),
+                table: Table::new(TableOptions::default()),
+            },
+        );
+        let Slot::Down { addr, table } = slot else {
+            unreachable!("checked Up above");
+        };
+        match SlaveServer::spawn(table, self.cfg) {
+            Ok(handle) => {
+                let new_addr = handle.addr();
+                self.slots[ix] = Slot::Up(handle);
+                Ok(new_addr)
+            }
+            Err(e) => {
+                // Spawn consumed the table on success only; on failure we
+                // lost it — park the slot with an empty table so the
+                // cluster stays shut-downable.
+                self.slots[ix] = Slot::Down {
+                    addr,
+                    table: Table::new(TableOptions::default()),
+                };
+                Err(e)
+            }
+        }
+    }
+
+    /// Work-queue backpressure counters merged over every live server,
+    /// plus those of servers killed earlier.
     pub fn queue_stats(&self) -> QueueStats {
-        let mut merged = QueueStats::default();
-        for s in &self.slaves {
-            merged.merge(&s.queue_stats());
+        let mut merged = self.downed_stats;
+        for s in &self.slots {
+            if let Slot::Up(h) = s {
+                merged.merge(&h.queue_stats());
+            }
         }
         merged
     }
@@ -44,11 +146,13 @@ impl LocalCluster {
     /// Stops every server deterministically (disconnect masters first so
     /// the connection readers see EOF immediately; they also poll a stop
     /// flag, so shutdown completes regardless). Returns the merged queue
-    /// stats.
+    /// stats, including those of servers killed mid-run.
     pub fn shutdown(self) -> QueueStats {
-        let mut merged = QueueStats::default();
-        for s in self.slaves {
-            merged.merge(&s.shutdown());
+        let mut merged = self.downed_stats;
+        for s in self.slots {
+            if let Slot::Up(h) = s {
+                merged.merge(&h.shutdown());
+            }
         }
         merged
     }
@@ -57,33 +161,45 @@ impl LocalCluster {
 /// Boots one slave server per node of `data` on ephemeral loopback ports.
 ///
 /// Returns the cluster plus the routed key list — every partition paired
-/// with its primary node, in placement order — ready for
-/// [`crate::NetMaster::run_query`].
+/// with its full replica set (primary first), in placement order — ready
+/// for [`crate::NetMaster::run_query`]. With `replication_factor` 1 the
+/// routes degenerate to the primary-only placement of earlier revisions.
 pub fn spawn_local_cluster(
     data: ClusterData,
     cfg: NetServerConfig,
-) -> io::Result<(LocalCluster, Vec<(PartitionKey, u32)>)> {
-    let routes: Vec<(PartitionKey, u32)> = data
+) -> io::Result<(LocalCluster, Vec<Route>)> {
+    let routes: Vec<Route> = data
         .partitions()
         .map(|(pk, _cells)| {
-            let node = data
-                .primary_of(pk)
-                .unwrap_or_else(|| panic!("unplaced partition {pk:?}"));
-            (pk.clone(), node)
+            let replicas = data.replicas_of(pk).to_vec();
+            assert!(!replicas.is_empty(), "unplaced partition {pk:?}");
+            Route {
+                key: pk.clone(),
+                replicas,
+            }
         })
         .collect();
-    let mut slaves = Vec::new();
+    let mut slots = Vec::new();
     for table in data.into_tables() {
         match SlaveServer::spawn(table, cfg) {
-            Ok(handle) => slaves.push(handle),
+            Ok(handle) => slots.push(Slot::Up(handle)),
             Err(e) => {
                 // Don't leak the servers that did boot.
-                for s in slaves {
-                    s.shutdown();
+                for s in slots {
+                    if let Slot::Up(h) = s {
+                        h.shutdown();
+                    }
                 }
                 return Err(e);
             }
         }
     }
-    Ok((LocalCluster { slaves }, routes))
+    Ok((
+        LocalCluster {
+            slots,
+            cfg,
+            downed_stats: QueueStats::default(),
+        },
+        routes,
+    ))
 }

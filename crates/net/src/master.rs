@@ -5,25 +5,54 @@
 //!
 //! Reliability model: one TCP connection per slave, a reader thread per
 //! connection funneling frames into one channel, per-request deadlines,
-//! and bounded retries. A `Busy` frame (slave queue full) schedules a
-//! quick retry that does not consume the failure budget; a deadline
-//! expiry re-sends the request at most [`NetConfig::max_retries`] times.
-//! Either way a request that makes no progress within
-//! `timeout × (max_retries + 1)` of wall clock fails the query.
+//! and bounded retries. A `Busy` frame (slave queue full) is flow control,
+//! never a failure: it schedules a quick retry that does not consume the
+//! failure budget, and — because a `Busy` reply proves the slave alive —
+//! it re-arms the request's wall-clock allowance. A deadline expiry
+//! re-sends the request at most [`NetConfig::max_retries`] times; once
+//! that budget is exhausted (or the connection drops, or a corrupted
+//! frame forces a disconnect) the master *fails over* to the next live
+//! replica of the key, marking the unresponsive node suspected-dead so
+//! later picks avoid it. Only a request whose every replica is dead or
+//! exhausted fails the query.
 
 use crate::clock::wall_ns;
 use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
-use kvs_cluster::{Codec, CodecKind, QueryRequest, RunResult};
+use kvs_cluster::{Codec, CodecKind, QueryRequest, ReplicaPolicy, RunResult};
 use kvs_simcore::{SimDuration, SimTime};
 use kvs_stages::{analyze, Stage, TraceRecorder};
 use kvs_store::PartitionKey;
-use std::collections::{BTreeMap, HashMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// One sub-query route: a partition key plus the nodes holding a replica
+/// of it, primary first (the order [`kvs_cluster::ClusterData`] placed
+/// them in). The master picks among the replicas with
+/// [`NetConfig::replica_policy`] and walks the list on failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The partition this sub-query aggregates.
+    pub key: PartitionKey,
+    /// Replica node indexes, primary first. Must be non-empty.
+    pub replicas: Vec<u32>,
+}
+
+impl Route {
+    /// A single-replica route (replication factor 1).
+    pub fn single(key: PartitionKey, node: u32) -> Route {
+        Route {
+            key,
+            replicas: vec![node],
+        }
+    }
+}
 
 /// Master-side configuration.
 #[derive(Debug, Clone, Copy)]
@@ -33,14 +62,20 @@ pub struct NetConfig {
     pub codec: Codec,
     /// Per-request deadline before a retry is issued.
     pub timeout: Duration,
-    /// How many times one request may be re-sent after a *timeout* before
-    /// the query errors out. `Busy` replies are flow control, not
-    /// failures: they retry without consuming this budget, bounded
-    /// instead by the request's overall wall-clock allowance of
-    /// `timeout × (max_retries + 1)`.
+    /// How many times one request may be re-sent to the *same replica*
+    /// after a timeout before the master gives up on that replica and
+    /// fails over to the next one. `Busy` replies are flow control, not
+    /// failures: they retry without consuming this budget, and each one
+    /// re-arms the request's wall-clock allowance of
+    /// `timeout × (max_retries + 1)` (the slave demonstrably lives).
     pub max_retries: u32,
     /// Back-off before retrying a request a slave answered `Busy` to.
     pub busy_backoff: Duration,
+    /// How the master picks a replica for each sub-query (paper §VIII).
+    pub replica_policy: ReplicaPolicy,
+    /// Seed for the policy RNG (the `Random` policy); fixed seed ⇒
+    /// deterministic replica choices.
+    pub seed: u64,
 }
 
 impl Default for NetConfig {
@@ -50,13 +85,15 @@ impl Default for NetConfig {
             timeout: Duration::from_secs(2),
             max_retries: 8,
             busy_backoff: Duration::from_millis(1),
+            replica_policy: ReplicaPolicy::Primary,
+            seed: 0x5EED,
         }
     }
 }
 
 /// What a network query run reports beyond the shared [`RunResult`]:
-/// master-side per-message costs (the calibration inputs) and the retry
-/// counters.
+/// master-side per-message costs (the calibration inputs), the retry
+/// counters, and the failover bookkeeping.
 #[derive(Debug)]
 pub struct NetRunReport {
     /// The standard run outcome (traces, stage report, aggregates).
@@ -67,8 +104,25 @@ pub struct NetRunReport {
     pub rx_micros: u64,
     /// Requests re-sent because a slave answered `Busy`.
     pub busy_retries: u64,
-    /// Requests re-sent because their deadline expired.
+    /// Requests re-sent (to the same replica) because their deadline
+    /// expired.
     pub timeout_retries: u64,
+    /// Requests re-routed to another replica after their current one
+    /// timed out, exhausted its retry budget, or dropped its connection.
+    pub failovers: u64,
+    /// Nodes the master stopped trusting during the run: their connection
+    /// died, a corrupted frame forced a disconnect, or they exhausted a
+    /// request's retry budget. Sorted, deduplicated.
+    pub suspected_dead: Vec<u32>,
+    /// Master↔slave connections torn down because a frame failed its CRC
+    /// (after corruption the byte stream cannot be re-synchronized).
+    pub crc_disconnects: u64,
+    /// The aggregate retry cost: wall-clock time completed requests spent
+    /// between their first send and the send that finally got a response
+    /// (0 for a run with no retries). This is the share of the
+    /// master-to-slave stage attributable to busy back-off, timeouts and
+    /// failover detection.
+    pub retry_wait_ms: f64,
 }
 
 impl NetRunReport {
@@ -83,50 +137,93 @@ impl NetRunReport {
     }
 }
 
+/// Why a connection reader exited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DownReason {
+    /// EOF or a transport error: the peer is gone.
+    Closed,
+    /// A frame failed validation (CRC/framing): the stream is
+    /// unrecoverable, so the connection was dropped.
+    Corrupt,
+}
+
+/// What a reader thread reports to the collect loop.
+enum Event {
+    Frame(u32, Frame),
+    Down(u32, DownReason),
+}
+
 struct Pending {
-    node: u32,
+    /// Replica nodes of this key, primary first (the route).
+    replicas: Vec<u32>,
+    /// Index into `replicas` of the replica currently being tried.
+    replica_ix: usize,
     payload: Bytes,
     attempts: u32,
+    first_sent_wall: u64,
     sent_wall: u64,
     issued_wall: u64,
     /// Next retry instant (timeout, or busy back-off when `busy`).
     deadline: Instant,
-    /// Hard wall-clock limit for this request across all retries.
+    /// Hard wall-clock limit for this request on the current replica.
+    /// Re-armed by `Busy` replies (liveness evidence) and on failover.
     expires: Instant,
     /// The last resend trigger was a `Busy` frame (for counter accounting
     /// and the retry budget).
     busy: bool,
 }
 
+impl Pending {
+    fn node(&self) -> u32 {
+        self.replicas[self.replica_ix]
+    }
+}
+
 /// A connected master.
 pub struct NetMaster {
-    writers: Vec<TcpStream>,
-    rx: Receiver<(u32, Frame)>,
+    writers: Vec<Option<TcpStream>>,
+    rx: Receiver<Event>,
     readers: Vec<JoinHandle<()>>,
     cfg: NetConfig,
+    /// Nodes this master no longer trusts (dead connection, corrupt
+    /// stream, or exhausted retry budget). Persists across queries.
+    dead: BTreeSet<u32>,
+    crc_disconnects: u64,
+    /// Monotone per-master send sequence, stamped into request frames
+    /// (`stamps[2]`) so interposers and tests can assert ordering.
+    send_seq: u64,
+    policy_rng: StdRng,
 }
 
 impl NetMaster {
     /// Connects to every slave; `addrs[i]` must be node `i`'s server.
     pub fn connect(addrs: &[SocketAddr], cfg: NetConfig) -> io::Result<NetMaster> {
-        let (tx, rx) = unbounded::<(u32, Frame)>();
+        let (tx, rx) = unbounded::<Event>();
         let mut writers = Vec::with_capacity(addrs.len());
         let mut readers = Vec::with_capacity(addrs.len());
         for (node, addr) in addrs.iter().enumerate() {
             let stream = TcpStream::connect(addr)?;
             stream.set_nodelay(true)?;
             let mut read_half = stream.try_clone()?;
-            writers.push(stream);
+            writers.push(Some(stream));
             let tx = tx.clone();
             let node = node as u32;
             readers.push(std::thread::spawn(move || loop {
                 match Frame::read_from(&mut read_half) {
                     Ok(frame) => {
-                        if tx.send((node, frame)).is_err() {
+                        if tx.send(Event::Frame(node, frame)).is_err() {
                             return;
                         }
                     }
-                    Err(_) => return, // connection closed or corrupted
+                    Err(e) => {
+                        let reason = if e.kind() == io::ErrorKind::InvalidData {
+                            DownReason::Corrupt
+                        } else {
+                            DownReason::Closed
+                        };
+                        let _ = tx.send(Event::Down(node, reason));
+                        return;
+                    }
                 }
             }));
         }
@@ -134,15 +231,24 @@ impl NetMaster {
             writers,
             rx,
             readers,
+            dead: BTreeSet::new(),
+            crc_disconnects: 0,
+            send_seq: 0,
+            policy_rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
         })
     }
 
-    /// Runs the aggregation query: issues one request per `(partition,
-    /// node)` pair, then drains responses. All keys are known up front, as
-    /// in the paper's simple case.
-    pub fn run_query(&mut self, keys: &[(PartitionKey, u32)]) -> io::Result<NetRunReport> {
-        self.run_with_arrivals(keys, None)
+    /// Nodes currently considered dead by this master.
+    pub fn suspected_dead(&self) -> Vec<u32> {
+        self.dead.iter().copied().collect()
+    }
+
+    /// Runs the aggregation query: issues one request per route, then
+    /// drains responses, failing over between replicas as needed. All
+    /// keys are known up front, as in the paper's simple case.
+    pub fn run_query(&mut self, routes: &[Route]) -> io::Result<NetRunReport> {
+        self.run_with_arrivals(routes, None)
     }
 
     /// Like [`NetMaster::run_query`], but each request `i` is released
@@ -151,11 +257,11 @@ impl NetMaster {
     /// release everything immediately (closed batch).
     pub fn run_with_arrivals(
         &mut self,
-        keys: &[(PartitionKey, u32)],
+        routes: &[Route],
         arrivals_ns: Option<&[u64]>,
     ) -> io::Result<NetRunReport> {
         if let Some(a) = arrivals_ns {
-            assert_eq!(a.len(), keys.len(), "one arrival offset per key");
+            assert_eq!(a.len(), routes.len(), "one arrival offset per route");
         }
         let flags = match self.cfg.codec.kind {
             CodecKind::Compact => FLAG_COMPACT,
@@ -164,18 +270,16 @@ impl NetMaster {
         let origin_wall = wall_ns();
         let origin = Instant::now();
         let to_sim = |w: u64| SimTime::from_nanos(w.saturating_sub(origin_wall));
+        let allowance = self.cfg.timeout * (self.cfg.max_retries + 1);
 
-        let mut pending: HashMap<u64, Pending> = HashMap::with_capacity(keys.len());
-        let mut tx_micros = 0u64;
-        let mut rx_micros = 0u64;
-        let mut busy_retries = 0u64;
-        let mut timeout_retries = 0u64;
-        let mut bytes_to_slaves = 0u64;
-        let mut bytes_to_master = 0u64;
+        let mut pending: HashMap<u64, Pending> = HashMap::with_capacity(routes.len());
+        let mut ctr = Counters::default();
+        let mut inflight: Vec<usize> = vec![0; self.writers.len()];
         let mut send_last = origin;
 
         // ---- Issue phase. ----
-        for (i, (pk, node)) in keys.iter().enumerate() {
+        for (i, route) in routes.iter().enumerate() {
+            assert!(!route.replicas.is_empty(), "route {i} has no replicas");
             if let Some(arrivals) = arrivals_ns {
                 let due = Duration::from_nanos(arrivals[i]);
                 loop {
@@ -198,33 +302,50 @@ impl NetMaster {
             let t0 = Instant::now();
             let payload = self.cfg.codec.encode_request(&QueryRequest {
                 request_id: i as u64,
-                partition: pk.clone(),
+                partition: route.key.clone(),
             });
-            let sent_wall = wall_ns();
-            let frame = Frame {
-                kind: FrameKind::Request,
-                flags,
-                id: i as u64,
-                stamps: [issued_wall, sent_wall, 0, 0],
-                payload: payload.clone(),
-            };
-            self.write_frame(*node, &frame)?;
-            tx_micros += t0.elapsed().as_micros() as u64;
-            send_last = Instant::now();
-            bytes_to_slaves += payload.len() as u64;
-            pending.insert(
+
+            // Replica choice: the configured policy proposes, the dead
+            // set disposes — a suspected-dead pick slides to the next
+            // live replica (counted as a failover, like the sim's).
+            let loads: Vec<usize> = route
+                .replicas
+                .iter()
+                .map(|&n| inflight.get(n as usize).copied().unwrap_or(0))
+                .collect();
+            let picked = self.cfg.replica_policy.pick(
+                route.replicas.len(),
+                &loads,
                 i as u64,
-                Pending {
-                    node: *node,
-                    payload,
-                    attempts: 1,
-                    sent_wall,
-                    issued_wall,
-                    deadline: send_last + self.cfg.timeout,
-                    expires: send_last + self.cfg.timeout * (self.cfg.max_retries + 1),
-                    busy: false,
-                },
+                &mut self.policy_rng,
             );
+            let mut p = Pending {
+                replicas: route.replicas.clone(),
+                replica_ix: picked,
+                payload,
+                attempts: 1,
+                first_sent_wall: 0,
+                sent_wall: 0,
+                issued_wall,
+                deadline: Instant::now(),
+                expires: Instant::now(),
+                busy: false,
+            };
+            if self.dead.contains(&p.node()) {
+                self.failover(i as u64, &mut p, &mut ctr)?;
+            }
+
+            let sent_wall = self.send_pending(i as u64, &mut p, flags, &mut ctr)?;
+            p.first_sent_wall = sent_wall;
+            ctr.tx_micros += t0.elapsed().as_micros() as u64;
+            send_last = Instant::now();
+            p.deadline = send_last + self.cfg.timeout;
+            p.expires = send_last + allowance;
+            *inflight
+                .get_mut(p.node() as usize)
+                .expect("node index in range") += 1;
+            ctr.bytes_to_slaves += p.payload.len() as u64;
+            pending.insert(i as u64, p);
         }
 
         // ---- Collect phase. ----
@@ -241,7 +362,7 @@ impl NetMaster {
                 .saturating_duration_since(Instant::now())
                 .max(Duration::from_micros(100));
             match self.rx.recv_timeout(wait) {
-                Ok((node, frame)) => match frame.kind {
+                Ok(Event::Frame(node, frame)) => match frame.kind {
                     FrameKind::Response => {
                         let t0 = Instant::now();
                         let Some(response) = self.cfg.codec.decode_response(frame.payload.clone())
@@ -249,11 +370,15 @@ impl NetMaster {
                             continue; // checksummed but undecodable: let the retry path handle it
                         };
                         let done_wall = wall_ns();
-                        rx_micros += t0.elapsed().as_micros() as u64;
+                        ctr.rx_micros += t0.elapsed().as_micros() as u64;
                         let Some(p) = pending.remove(&frame.id) else {
                             continue; // duplicate (a retry raced its original)
                         };
-                        bytes_to_master += frame.payload.len() as u64;
+                        if let Some(slot) = inflight.get_mut(p.node() as usize) {
+                            *slot = slot.saturating_sub(1);
+                        }
+                        ctr.bytes_to_master += frame.payload.len() as u64;
+                        ctr.retry_wait_ns += p.sent_wall.saturating_sub(p.first_sent_wall);
                         let id = frame.id;
                         recorder.begin(id, node, response.cells);
                         recorder.record(
@@ -289,12 +414,50 @@ impl NetMaster {
                         if let Some(p) = pending.get_mut(&frame.id) {
                             // Pull the deadline in: retry after a short
                             // back-off through the common expiry path.
+                            // The slave demonstrably lives, so re-arm the
+                            // wall-clock allowance — Busy is flow
+                            // control, never a failure (see the
+                            // regression test in tests/busy_budget.rs).
                             p.busy = true;
-                            p.deadline = Instant::now() + self.cfg.busy_backoff;
+                            let now = Instant::now();
+                            p.deadline = now + self.cfg.busy_backoff;
+                            p.expires = now + allowance;
                         }
                     }
                     FrameKind::Request => {} // protocol violation; ignore
                 },
+                Ok(Event::Down(node, reason)) => {
+                    if reason == DownReason::Corrupt {
+                        self.crc_disconnects += 1;
+                        ctr.crc_disconnects += 1;
+                    }
+                    self.mark_dead(node);
+                    // Everything in flight on that node fails over now
+                    // rather than waiting out its timeout.
+                    let stranded: Vec<u64> = pending
+                        .iter()
+                        .filter(|(_, p)| p.node() == node)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in stranded {
+                        let mut p = pending.remove(&id).expect("stranded id present");
+                        if let Some(slot) = inflight.get_mut(p.node() as usize) {
+                            *slot = slot.saturating_sub(1);
+                        }
+                        self.failover(id, &mut p, &mut ctr)?;
+                        self.send_pending(id, &mut p, flags, &mut ctr)?;
+                        let now = Instant::now();
+                        p.deadline = now + self.cfg.timeout;
+                        p.expires = now + allowance;
+                        p.attempts = 1;
+                        p.busy = false;
+                        ctr.bytes_to_slaves += p.payload.len() as u64;
+                        if let Some(slot) = inflight.get_mut(p.node() as usize) {
+                            *slot += 1;
+                        }
+                        pending.insert(id, p);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(io::Error::new(
@@ -312,46 +475,45 @@ impl NetMaster {
                 .map(|(&id, _)| id)
                 .collect();
             for id in expired {
-                let p = pending.get_mut(&id).expect("expired id present");
+                let mut p = pending.remove(&id).expect("expired id present");
+                if let Some(slot) = inflight.get_mut(p.node() as usize) {
+                    *slot = slot.saturating_sub(1);
+                }
                 // Busy resends are flow control and don't consume the
-                // timeout budget, but every request has a hard wall-clock
-                // allowance so a wedged slave still surfaces as an error.
+                // retry budget; their allowance re-arms on every Busy
+                // receipt, so hitting `expires` here means the slave went
+                // silent after flow-controlling us. Timeout resends are
+                // bounded by `max_retries` per replica. Either way,
+                // exhaustion suspects the replica and fails over.
                 let exhausted = if p.busy {
                     now >= p.expires
                 } else {
                     p.attempts > self.cfg.max_retries
                 };
                 if exhausted {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        format!(
-                            "request {id} to node {} failed after {} attempts",
-                            p.node, p.attempts
-                        ),
-                    ));
-                }
-                if p.busy {
-                    busy_retries += 1;
+                    self.mark_dead(p.node());
+                    self.failover(id, &mut p, &mut ctr)?;
+                    p.attempts = 1;
+                } else if p.busy {
+                    ctr.busy_retries += 1;
                 } else {
-                    timeout_retries += 1;
+                    ctr.timeout_retries += 1;
                     p.attempts += 1;
                 }
                 p.busy = false;
                 let t0 = Instant::now();
-                let sent_wall = wall_ns();
-                let frame = Frame {
-                    kind: FrameKind::Request,
-                    flags,
-                    id,
-                    stamps: [p.issued_wall, sent_wall, 0, 0],
-                    payload: p.payload.clone(),
-                };
-                let node = p.node;
-                p.sent_wall = sent_wall;
-                p.deadline = Instant::now() + self.cfg.timeout;
-                bytes_to_slaves += p.payload.len() as u64;
-                self.write_frame(node, &frame)?;
-                tx_micros += t0.elapsed().as_micros() as u64;
+                self.send_pending(id, &mut p, flags, &mut ctr)?;
+                ctr.tx_micros += t0.elapsed().as_micros() as u64;
+                let now = Instant::now();
+                p.deadline = now + self.cfg.timeout;
+                if exhausted {
+                    p.expires = now + allowance;
+                }
+                ctr.bytes_to_slaves += p.payload.len() as u64;
+                if let Some(slot) = inflight.get_mut(p.node() as usize) {
+                    *slot += 1;
+                }
+                pending.insert(id, p);
             }
         }
 
@@ -364,29 +526,105 @@ impl NetMaster {
                 traces,
                 counts_by_kind: counts,
                 total_cells,
-                messages: keys.len() as u64,
-                bytes_to_slaves,
-                bytes_to_master,
+                messages: routes.len() as u64,
+                bytes_to_slaves: ctr.bytes_to_slaves,
+                bytes_to_master: ctr.bytes_to_master,
                 issue_span: SimDuration::from_nanos(
                     send_last.saturating_duration_since(origin).as_nanos() as u64,
                 ),
-                failovers: 0,
+                failovers: ctr.failovers,
                 queue: None,
             },
-            tx_micros,
-            rx_micros,
-            busy_retries,
-            timeout_retries,
+            tx_micros: ctr.tx_micros,
+            rx_micros: ctr.rx_micros,
+            busy_retries: ctr.busy_retries,
+            timeout_retries: ctr.timeout_retries,
+            failovers: ctr.failovers,
+            suspected_dead: self.suspected_dead(),
+            crc_disconnects: ctr.crc_disconnects,
+            retry_wait_ms: ctr.retry_wait_ns as f64 / 1e6,
         })
     }
 
+    /// Advances `p` to the next live replica, or errors when none remains.
+    fn failover(&mut self, id: u64, p: &mut Pending, ctr: &mut Counters) -> io::Result<()> {
+        let n = p.replicas.len();
+        for step in 1..=n {
+            let ix = (p.replica_ix + step) % n;
+            if !self.dead.contains(&p.replicas[ix]) {
+                p.replica_ix = ix;
+                ctr.failovers += 1;
+                return Ok(());
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!(
+                "request {id} has no live replica left (tried {:?}, dead: {:?})",
+                p.replicas, self.dead
+            ),
+        ))
+    }
+
+    /// Marks a node suspected-dead and drops its write half so no further
+    /// frames go to it.
+    fn mark_dead(&mut self, node: u32) {
+        self.dead.insert(node);
+        if let Some(slot) = self.writers.get_mut(node as usize) {
+            if let Some(w) = slot.take() {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Frames and writes `p`'s request to its current replica, failing
+    /// over (possibly repeatedly) when the write itself fails. Returns
+    /// the wall-clock send stamp.
+    fn send_pending(
+        &mut self,
+        id: u64,
+        p: &mut Pending,
+        flags: u8,
+        ctr: &mut Counters,
+    ) -> io::Result<u64> {
+        loop {
+            let sent_wall = wall_ns();
+            let seq = self.send_seq;
+            self.send_seq += 1;
+            let frame = Frame {
+                kind: FrameKind::Request,
+                flags,
+                id,
+                stamps: [p.issued_wall, sent_wall, seq, 0],
+                payload: p.payload.clone(),
+            };
+            let node = p.node();
+            match self.write_frame(node, &frame) {
+                Ok(()) => {
+                    p.sent_wall = sent_wall;
+                    return Ok(sent_wall);
+                }
+                Err(_) => {
+                    // The connection is unusable; suspect the node and
+                    // walk to the next replica (or error out of replicas).
+                    self.mark_dead(node);
+                    self.failover(id, p, ctr)?;
+                }
+            }
+        }
+    }
+
     fn write_frame(&mut self, node: u32, frame: &Frame) -> io::Result<()> {
-        let writer = self.writers.get_mut(node as usize).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no connection for node {node}"),
-            )
-        })?;
+        let writer = self
+            .writers
+            .get_mut(node as usize)
+            .and_then(|w| w.as_mut())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no connection for node {node}"),
+                )
+            })?;
         frame.write_to(writer)
     }
 
@@ -396,7 +634,7 @@ impl NetMaster {
     }
 
     fn close(&mut self) {
-        for w in &self.writers {
+        for w in self.writers.iter().flatten() {
             let _ = w.shutdown(Shutdown::Both);
         }
         self.writers.clear();
@@ -410,4 +648,19 @@ impl Drop for NetMaster {
     fn drop(&mut self) {
         self.close();
     }
+}
+
+/// Per-run mutable counters, bundled so helpers can borrow them alongside
+/// `self` without fighting the borrow checker.
+#[derive(Default)]
+struct Counters {
+    tx_micros: u64,
+    rx_micros: u64,
+    busy_retries: u64,
+    timeout_retries: u64,
+    failovers: u64,
+    crc_disconnects: u64,
+    retry_wait_ns: u64,
+    bytes_to_slaves: u64,
+    bytes_to_master: u64,
 }

@@ -70,6 +70,7 @@ pub struct SlaveHandle {
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
     workers: Vec<JoinHandle<()>>,
+    table: Arc<Mutex<Table>>,
 }
 
 impl SlaveServer {
@@ -124,6 +125,7 @@ impl SlaveServer {
             accept_thread: Some(accept_thread),
             conn_threads,
             workers,
+            table,
         })
     }
 }
@@ -239,7 +241,14 @@ impl SlaveHandle {
     /// Stops the server deterministically and returns the final queue
     /// stats. Joins the accept loop, every connection reader, and the
     /// worker pool — nothing survives the call.
-    pub fn shutdown(mut self) -> QueueStats {
+    pub fn shutdown(self) -> QueueStats {
+        self.shutdown_take_table().0
+    }
+
+    /// Like [`SlaveHandle::shutdown`], but also hands back the node's
+    /// [`Table`] so a chaos harness can later restart the slave with its
+    /// data intact (see `LocalCluster::kill`/`restart`).
+    pub fn shutdown_take_table(mut self) -> (QueueStats, Table) {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -252,11 +261,19 @@ impl SlaveHandle {
         }
         let stats = self.queue.stats();
         // Workers exit once every queue producer is gone.
-        let SlaveHandle { queue, workers, .. } = self;
+        let SlaveHandle {
+            queue,
+            workers,
+            table,
+            ..
+        } = self;
         drop(queue);
         for h in workers {
             let _ = h.join();
         }
-        stats
+        let table = Arc::try_unwrap(table)
+            .unwrap_or_else(|_| panic!("table still shared after worker join"))
+            .into_inner();
+        (stats, table)
     }
 }

@@ -1,0 +1,107 @@
+//! Regression pin for the documented Busy semantics: **Busy is flow
+//! control, never a failure.**
+//!
+//! The subtle boundary this pins: a request's hard wall-clock allowance
+//! (`timeout × (max_retries + 1)`) used to be armed once at first send,
+//! so a slave that kept answering `Busy` long enough would push the
+//! request past its allowance and fail the query — even though every
+//! `Busy` reply is proof the slave is alive and making the master wait
+//! on purpose. The master now re-arms the allowance on every `Busy`
+//! receipt; only a slave that goes *silent* still exhausts it.
+//!
+//! The test drives the master against a hand-rolled fake slave that
+//! answers `Busy` for longer than the original allowance before finally
+//! serving the request. Success, `busy_retries` matching the Busy count,
+//! and zero timeout retries/failovers pin the semantics.
+
+use kvs_cluster::{Codec, QueryResponse};
+use kvs_net::clock::wall_ns;
+use kvs_net::{Frame, FrameKind, NetConfig, NetMaster, Route};
+use kvs_store::PartitionKey;
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// How many Busy replies the fake slave sends before serving. With a
+/// 20 ms busy back-off this stretches the busy period to ≈ 300 ms —
+/// nearly double the 160 ms allowance armed at first send.
+const BUSY_REPLIES: u64 = 15;
+
+#[test]
+fn busy_flow_control_never_exhausts_the_failure_budget() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let server = std::thread::spawn(move || {
+        let (mut conn, _peer) = listener.accept().expect("master connects");
+        let codec = Codec::compact();
+        let mut busy_sent = 0u64;
+        loop {
+            let frame = match Frame::read_from(&mut conn) {
+                Ok(f) => f,
+                Err(_) => return busy_sent, // master hung up: done
+            };
+            if frame.kind != FrameKind::Request {
+                continue;
+            }
+            if busy_sent < BUSY_REPLIES {
+                busy_sent += 1;
+                let busy = Frame {
+                    kind: FrameKind::Busy,
+                    flags: frame.flags,
+                    id: frame.id,
+                    stamps: [frame.stamps[1], wall_ns(), 0, 0],
+                    payload: bytes::Bytes::new(),
+                };
+                busy.write_to(&mut conn).expect("busy reply");
+                continue;
+            }
+            let request = codec
+                .decode_request(frame.payload.clone())
+                .expect("decodable request");
+            let response = QueryResponse::from_kinds(request.request_id, [1u8, 2, 3]);
+            let now = wall_ns();
+            let reply = Frame {
+                kind: FrameKind::Response,
+                flags: frame.flags,
+                id: frame.id,
+                stamps: [frame.stamps[1], now, now, wall_ns()],
+                payload: codec.encode_response(&response),
+            };
+            reply.write_to(&mut conn).expect("response reply");
+        }
+    });
+
+    let cfg = NetConfig {
+        timeout: Duration::from_millis(80),
+        max_retries: 1, // allowance armed at first send: 160 ms
+        busy_backoff: Duration::from_millis(20),
+        ..NetConfig::default()
+    };
+    let mut master = NetMaster::connect(&[addr], cfg).expect("master connects");
+    let routes = vec![Route::single(PartitionKey::from_id(7), 0)];
+    let report = master
+        .run_query(&routes)
+        .expect("a busy slave is not a dead slave");
+
+    assert_eq!(report.result.total_cells, 3);
+    assert_eq!(
+        report.busy_retries, BUSY_REPLIES,
+        "every Busy reply produced exactly one flow-control retry"
+    );
+    assert_eq!(
+        report.timeout_retries, 0,
+        "Busy retries leaked into the failure budget"
+    );
+    assert_eq!(report.failovers, 0);
+    assert!(report.suspected_dead.is_empty());
+    // The busy period really did outlive the original 160 ms allowance —
+    // otherwise this test pins nothing.
+    assert!(
+        report.retry_wait_ms > 160.0,
+        "busy period too short to prove re-arming: {:.0} ms",
+        report.retry_wait_ms
+    );
+
+    master.shutdown();
+    assert_eq!(server.join().expect("server exits"), BUSY_REPLIES);
+}

@@ -1,0 +1,424 @@
+//! The chaos harness end to end: every fault class through [`ChaosProxy`],
+//! replica failover in [`NetMaster`], and the acceptance cross-validation
+//! against `cluster::sim`'s `NodeFailure` replay.
+//!
+//! Everything here runs with fixed seeds and bounded schedules, so the
+//! suite is deterministic: the same faults hit the same frames on every
+//! run.
+
+use kvs_cluster::config::NodeFailure;
+use kvs_cluster::data::uniform_partitions;
+use kvs_cluster::sim::run_query;
+use kvs_cluster::{ClusterConfig, ClusterData, ReplicaPolicy};
+use kvs_net::{
+    spawn_local_cluster, wrap_cluster, ChaosDirection, ChaosRule, ChaosSchedule, FaultAction,
+    NetConfig, NetMaster, NetServerConfig,
+};
+use kvs_simcore::SimDuration;
+use kvs_store::TableOptions;
+use std::time::Duration;
+
+fn data(nodes: u32, rf: usize, partitions: u64, cells: u64) -> ClusterData {
+    ClusterData::load(
+        nodes,
+        rf,
+        TableOptions::default(),
+        uniform_partitions(partitions, cells, 4),
+    )
+}
+
+/// A master config tuned for fault tests: short timeouts so detection is
+/// fast, few retries so failover happens within a test-sized budget.
+fn fast_cfg() -> NetConfig {
+    NetConfig {
+        timeout: Duration::from_millis(100),
+        max_retries: 1,
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn passthrough_proxy_is_transparent() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(2, 1, 32, 8), NetServerConfig::default()).expect("cluster boots");
+    let schedules = vec![ChaosSchedule::passthrough(7), ChaosSchedule::passthrough(8)];
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, NetConfig::default()).expect("master connects");
+    let report = master.run_query(&routes).expect("query succeeds");
+    assert_eq!(report.result.total_cells, 32 * 8);
+    assert_eq!(report.failovers, 0);
+    assert_eq!(report.timeout_retries, 0);
+    assert!(report.suspected_dead.is_empty());
+    master.shutdown();
+    let mut frames = 0;
+    for p in proxies {
+        let s = p.shutdown();
+        assert_eq!(s.seq_regressions, 0, "sequence audit failed: {s:?}");
+        assert_eq!(s.frames_seen, s.forwarded, "passthrough modified frames");
+        frames += s.frames_seen;
+    }
+    // 32 requests + 32 responses crossed the two proxies.
+    assert_eq!(frames, 64);
+    cluster.shutdown();
+}
+
+#[test]
+fn delayed_frames_arrive_late_but_intact() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(1, 1, 8, 8), NetServerConfig::default()).expect("cluster boots");
+    let schedule = ChaosSchedule {
+        seed: 11,
+        rules: vec![ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::Delay(Duration::from_millis(15)),
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: Some(4),
+        }],
+        blackhole_from: None,
+    };
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), vec![schedule]).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, NetConfig::default()).expect("master connects");
+    let report = master.run_query(&routes).expect("query succeeds");
+    assert_eq!(report.result.total_cells, 8 * 8);
+    // Four responses were held 15 ms each (sequentially, in-order TCP):
+    // the makespan must show it.
+    assert!(
+        report.result.makespan >= SimDuration::from_millis(15),
+        "delays left no trace: {}",
+        report.result.makespan
+    );
+    assert_eq!(report.failovers, 0);
+    master.shutdown();
+    let stats = proxies.into_iter().next().expect("one proxy").shutdown();
+    assert_eq!(stats.delayed, 4);
+    assert_eq!(stats.seq_regressions, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn dropped_requests_are_recovered_by_timeout_retry() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(1, 1, 8, 8), NetServerConfig::default()).expect("cluster boots");
+    let schedule = ChaosSchedule {
+        seed: 3,
+        rules: vec![ChaosRule {
+            direction: ChaosDirection::ToSlave,
+            action: FaultAction::Drop,
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: Some(2),
+        }],
+        blackhole_from: None,
+    };
+    assert!(schedule.eventually_quiet());
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), vec![schedule]).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, fast_cfg()).expect("master connects");
+    let report = master.run_query(&routes).expect("query succeeds");
+    assert_eq!(report.result.total_cells, 8 * 8);
+    assert_eq!(report.timeout_retries, 2, "one retry per dropped request");
+    assert_eq!(report.failovers, 0, "a healthy node needs no failover");
+    assert!(
+        report.retry_wait_ms >= 100.0,
+        "retry cost unaccounted: {} ms",
+        report.retry_wait_ms
+    );
+    master.shutdown();
+    let stats = proxies.into_iter().next().expect("one proxy").shutdown();
+    assert_eq!(stats.dropped, 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn duplicated_responses_are_counted_once() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(1, 1, 16, 8), NetServerConfig::default()).expect("cluster boots");
+    let schedule = ChaosSchedule {
+        seed: 5,
+        rules: vec![ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::Duplicate,
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: Some(16),
+        }],
+        blackhole_from: None,
+    };
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), vec![schedule]).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, NetConfig::default()).expect("master connects");
+    let report = master.run_query(&routes).expect("query succeeds");
+    // Every response arrived twice; the aggregation must not double-count.
+    assert_eq!(report.result.total_cells, 16 * 8);
+    assert_eq!(report.result.messages, 16);
+    master.shutdown();
+    let stats = proxies.into_iter().next().expect("one proxy").shutdown();
+    assert_eq!(stats.duplicated, 16);
+    cluster.shutdown();
+}
+
+#[test]
+fn corrupt_crc_drops_the_connection_and_fails_over() {
+    // Node 0's proxy corrupts every response; with rf = 2 over 2 nodes the
+    // master must detect the CRC failure, cut the connection, suspect the
+    // node, and re-route its keys to node 1 — with zero wrong answers.
+    let (cluster, routes) =
+        spawn_local_cluster(data(2, 2, 24, 8), NetServerConfig::default()).expect("cluster boots");
+    let corrupting = ChaosSchedule {
+        seed: 13,
+        rules: vec![ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::CorruptCrc,
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: None,
+        }],
+        blackhole_from: None,
+    };
+    let schedules = vec![corrupting, ChaosSchedule::passthrough(14)];
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, fast_cfg()).expect("master connects");
+    let report = master
+        .run_query(&routes)
+        .expect("query survives corruption");
+    assert_eq!(report.result.total_cells, 24 * 8, "wrong aggregation");
+    assert!(
+        report.failovers > 0,
+        "no failover despite a corrupt replica"
+    );
+    assert_eq!(report.crc_disconnects, 1, "CRC teardown not recorded");
+    assert_eq!(report.suspected_dead, vec![0]);
+    master.shutdown();
+    let stats: Vec<_> = proxies.into_iter().map(|p| p.shutdown()).collect();
+    assert!(stats[0].corrupted >= 1);
+    assert_eq!(stats[1].corrupted, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn disconnect_fault_triggers_immediate_failover() {
+    // Node 0's proxy kills the connection on the very first response;
+    // everything still in flight on node 0 must fail over to node 1
+    // without waiting out the timeout.
+    let (cluster, routes) =
+        spawn_local_cluster(data(2, 2, 24, 8), NetServerConfig::default()).expect("cluster boots");
+    let disconnecting = ChaosSchedule {
+        seed: 21,
+        rules: vec![ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::Disconnect,
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: Some(1),
+        }],
+        blackhole_from: None,
+    };
+    let schedules = vec![disconnecting, ChaosSchedule::passthrough(22)];
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, fast_cfg()).expect("master connects");
+    let report = master
+        .run_query(&routes)
+        .expect("query survives disconnect");
+    assert_eq!(report.result.total_cells, 24 * 8);
+    assert!(report.failovers > 0);
+    assert_eq!(report.suspected_dead, vec![0]);
+    // The disconnect was detected by EOF, not by deadline expiry, so the
+    // whole run finishes well inside one timeout.
+    assert!(
+        report.result.makespan < SimDuration::from_millis(100),
+        "failover waited for the timeout: {}",
+        report.result.makespan
+    );
+    master.shutdown();
+    let stats: Vec<_> = proxies.into_iter().map(|p| p.shutdown()).collect();
+    assert_eq!(stats[0].disconnects, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn truncated_frame_cuts_the_stream_mid_frame_and_recovers() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(2, 2, 24, 8), NetServerConfig::default()).expect("cluster boots");
+    let truncating = ChaosSchedule {
+        seed: 31,
+        rules: vec![ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::Truncate(20),
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: Some(1),
+        }],
+        blackhole_from: None,
+    };
+    let schedules = vec![truncating, ChaosSchedule::passthrough(32)];
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, fast_cfg()).expect("master connects");
+    let report = master
+        .run_query(&routes)
+        .expect("query survives truncation");
+    assert_eq!(report.result.total_cells, 24 * 8);
+    assert!(report.failovers > 0);
+    master.shutdown();
+    let stats: Vec<_> = proxies.into_iter().map(|p| p.shutdown()).collect();
+    assert_eq!(stats[0].truncated, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn schedule_parser_reads_the_documented_format() {
+    let text = r#"
+# a mild degradation scenario
+seed = 99
+blackhole_from_ms = 750
+
+[[rule]]
+direction = "to_master"
+action = "delay"
+delay_ms = 5
+probability = 0.25
+until_frame = 200
+
+[[rule]]
+action = "drop"
+probability = 0.01
+after_frame = 10
+until_frame = 50
+
+[[rule]]
+direction = "to_slave"
+action = "truncate"
+truncate_bytes = 12
+"#;
+    let s = ChaosSchedule::parse(text).expect("parses");
+    assert_eq!(s.seed, 99);
+    assert_eq!(s.blackhole_from, Some(Duration::from_millis(750)));
+    assert_eq!(s.rules.len(), 3);
+    assert_eq!(
+        s.rules[0].action,
+        FaultAction::Delay(Duration::from_millis(5))
+    );
+    assert_eq!(s.rules[0].direction, ChaosDirection::ToMaster);
+    assert_eq!(s.rules[0].probability, 0.25);
+    assert_eq!(s.rules[0].until_frame, Some(200));
+    assert_eq!(s.rules[1].action, FaultAction::Drop);
+    assert_eq!(s.rules[1].direction, ChaosDirection::Both);
+    assert_eq!(s.rules[1].after_frame, 10);
+    assert_eq!(s.rules[2].action, FaultAction::Truncate(12));
+    assert!(!s.eventually_quiet(), "blackhole is never quiet");
+
+    assert!(ChaosSchedule::parse("bogus = 1").is_err());
+    assert!(ChaosSchedule::parse("[[rule]]\naction = \"warp\"").is_err());
+    assert!(ChaosSchedule::parse("[[rule]]\naction = \"delay\"").is_err());
+    let quiet = ChaosSchedule::parse("seed = 1\n[[rule]]\naction = \"drop\"\nuntil_frame = 4")
+        .expect("parses");
+    assert!(quiet.eventually_quiet());
+}
+
+/// The ISSUE's acceptance scenario: 1 of 3 replicas permanently dead
+/// (blackholed from the start), fixed seed. The query must complete with
+/// zero wrong or missing values and `failovers > 0`, and the measured
+/// degradation (makespan delta vs a healthy run — the slowest slave
+/// dictates the makespan) must land within 25% of what `cluster::sim`
+/// predicts for the equivalent `NodeFailure` with `failure_timeout` set
+/// to the master's real detection window.
+#[test]
+fn blackholed_replica_tracks_sim_prediction() {
+    const NODES: u32 = 3;
+    const RF: usize = 3;
+    const PARTITIONS: u64 = 48;
+    const CELLS: u64 = 8;
+    let net_cfg = NetConfig {
+        timeout: Duration::from_millis(100),
+        max_retries: 1,
+        replica_policy: ReplicaPolicy::Primary,
+        ..NetConfig::default()
+    };
+    // Detection window: a silent replica is declared dead only after the
+    // initial send plus max_retries re-sends all time out.
+    let detection = net_cfg.timeout * (net_cfg.max_retries + 1);
+
+    // Healthy measured run (passthrough proxies, so the path lengths
+    // match the chaos run exactly).
+    let (cluster, routes) = spawn_local_cluster(
+        data(NODES, RF, PARTITIONS, CELLS),
+        NetServerConfig::default(),
+    )
+    .expect("cluster boots");
+    let schedules = (0..NODES as u64).map(ChaosSchedule::passthrough).collect();
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, net_cfg).expect("master connects");
+    let healthy = master.run_query(&routes).expect("healthy run succeeds");
+    master.shutdown();
+    for p in proxies {
+        p.shutdown();
+    }
+    cluster.shutdown();
+
+    // Chaos run: node 0 blackholed from the first byte.
+    let (cluster, routes) = spawn_local_cluster(
+        data(NODES, RF, PARTITIONS, CELLS),
+        NetServerConfig::default(),
+    )
+    .expect("cluster boots");
+    let schedules = vec![
+        ChaosSchedule::blackhole_at(0xC4A0, Duration::ZERO),
+        ChaosSchedule::passthrough(1),
+        ChaosSchedule::passthrough(2),
+    ];
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let mut master = NetMaster::connect(&addrs, net_cfg).expect("master connects");
+    let degraded = master.run_query(&routes).expect("degraded run succeeds");
+    master.shutdown();
+    let blackholed = proxies
+        .into_iter()
+        .map(|p| p.shutdown().blackholed)
+        .sum::<u64>();
+    cluster.shutdown();
+
+    // Zero wrong or missing values despite the dead replica.
+    assert_eq!(
+        degraded.result.counts_by_kind,
+        healthy.result.counts_by_kind
+    );
+    assert_eq!(degraded.result.total_cells, PARTITIONS * CELLS);
+    assert_eq!(degraded.result.traces.len(), PARTITIONS as usize);
+    assert!(degraded.failovers > 0, "dead replica caused no failover");
+    assert_eq!(degraded.suspected_dead, vec![0]);
+    assert!(blackholed > 0, "the blackhole swallowed nothing");
+
+    // Replay the same scenario in the simulator.
+    let mut cfg = ClusterConfig::paper_optimized_master(NODES).deterministic();
+    cfg.replication_factor = RF;
+    cfg.replica_policy = ReplicaPolicy::Primary;
+    cfg.failure_timeout = SimDuration::from_nanos(detection.as_nanos() as u64);
+    let keys: Vec<_> = routes.iter().map(|r| r.key.clone()).collect();
+    let mut sim_data = data(NODES, RF, PARTITIONS, CELLS);
+    let sim_healthy = run_query(&cfg, &mut sim_data, &keys);
+    let mut failing_cfg = cfg.clone();
+    failing_cfg.failures = vec![NodeFailure {
+        node: 0,
+        at: SimDuration::ZERO,
+    }];
+    let mut sim_data = data(NODES, RF, PARTITIONS, CELLS);
+    let sim_failed = run_query(&failing_cfg, &mut sim_data, &keys);
+    assert_eq!(sim_failed.total_cells, PARTITIONS * CELLS);
+    assert!(sim_failed.failovers > 0);
+
+    // Compare the *added* latency, which both systems dominate by the
+    // failure-detection window; the healthy baselines subtract out each
+    // system's unrelated constant costs.
+    let measured_delta =
+        degraded.result.makespan.as_millis_f64() - healthy.result.makespan.as_millis_f64();
+    let predicted_delta =
+        sim_failed.makespan.as_millis_f64() - sim_healthy.makespan.as_millis_f64();
+    assert!(
+        predicted_delta > 0.0,
+        "sim predicts no degradation: {predicted_delta}"
+    );
+    let relative_error = (measured_delta - predicted_delta).abs() / predicted_delta;
+    assert!(
+        relative_error <= 0.25,
+        "measured degradation {measured_delta:.1} ms is {:.0}% off the simulated \
+         {predicted_delta:.1} ms",
+        relative_error * 100.0
+    );
+}

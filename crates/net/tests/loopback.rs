@@ -35,7 +35,7 @@ fn net_query_matches_live_executor_and_traces_all_stages() {
         NetMaster::connect(&cluster.addrs(), NetConfig::default()).expect("master connects");
     let net = master.run_query(&routes).expect("net query succeeds");
 
-    let live_keys: Vec<_> = routes.iter().map(|(pk, _)| pk.clone()).collect();
+    let live_keys: Vec<_> = routes.iter().map(|r| r.key.clone()).collect();
     let live = run_query_live(paper_data(), &live_keys, LiveConfig::default());
 
     assert_eq!(net.result.counts_by_kind, live.counts_by_kind);

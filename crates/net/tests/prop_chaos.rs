@@ -1,0 +1,189 @@
+//! The chaos property: for any eventually-quiet fault schedule, with
+//! replication ≥ 2 and at most one permanently dead replica per key, the
+//! aggregation query still returns exactly the fault-free oracle's
+//! answer.
+//!
+//! Each case draws a random mix of benign faults (bounded-window delays,
+//! drops, duplicates on every node) plus at most one *lethal* fault
+//! confined to a single victim node (permanent blackhole, corrupt-all,
+//! or an early disconnect). Three nodes at rf = 2 guarantee every key
+//! keeps at least one clean replica, so the failover path must always
+//! find the right answer — any divergence from the oracle is a bug.
+//!
+//! The "at most one dead replica" half of the property must hold
+//! *deterministically*, not just in expectation: a drop rule's bounded
+//! window is its fault budget. A window of `w` frames can swallow at
+//! most `w` sends per direction, so one request can lose at most
+//! `2 × w_max` attempts to drops. With `w_max = 7` and
+//! `max_retries = 16` (17 attempts) a healthy node can never exhaust a
+//! retry budget — only the victim's lethal fault can kill a node.
+//!
+//! Deterministic: the proptest shim derives its case stream from the
+//! test name, and every [`ChaosSchedule`] carries an explicit seed.
+//! `PROPTEST_CASES` overrides the case count (default 8 — each case
+//! boots a real cluster).
+
+use kvs_cluster::data::uniform_partitions;
+use kvs_cluster::ClusterData;
+use kvs_net::{
+    spawn_local_cluster, wrap_cluster, ChaosDirection, ChaosRule, ChaosSchedule, FaultAction,
+    NetConfig, NetMaster, NetServerConfig,
+};
+use kvs_store::TableOptions;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const NODES: u32 = 3;
+const RF: usize = 2;
+const PARTITIONS: u64 = 24;
+const CELLS: u64 = 6;
+
+fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+fn data() -> ClusterData {
+    ClusterData::load(
+        NODES,
+        RF,
+        TableOptions::default(),
+        uniform_partitions(PARTITIONS, CELLS, 4),
+    )
+}
+
+/// The fault-free answer every chaotic run must reproduce.
+fn oracle() -> BTreeMap<u8, u64> {
+    let (cluster, routes) =
+        spawn_local_cluster(data(), NetServerConfig::default()).expect("oracle cluster boots");
+    let mut master =
+        NetMaster::connect(&cluster.addrs(), NetConfig::default()).expect("oracle connects");
+    let report = master.run_query(&routes).expect("oracle succeeds");
+    master.shutdown();
+    cluster.shutdown();
+    assert_eq!(report.result.total_cells, PARTITIONS * CELLS);
+    report.result.counts_by_kind
+}
+
+/// Benign, bounded (hence eventually quiet) background noise for one node.
+fn benign(seed: u64, delay_ms: u64, drop_p: f64, dup_p: f64, window: u64) -> ChaosSchedule {
+    let schedule = ChaosSchedule {
+        seed,
+        rules: vec![
+            ChaosRule {
+                direction: ChaosDirection::Both,
+                action: FaultAction::Delay(Duration::from_millis(delay_ms)),
+                probability: 0.3,
+                after_frame: 0,
+                until_frame: Some(window),
+            },
+            ChaosRule {
+                direction: ChaosDirection::Both,
+                action: FaultAction::Drop,
+                probability: drop_p,
+                after_frame: 0,
+                until_frame: Some(window),
+            },
+            ChaosRule {
+                direction: ChaosDirection::Both,
+                action: FaultAction::Duplicate,
+                probability: dup_p,
+                after_frame: 0,
+                until_frame: Some(window),
+            },
+        ],
+        blackhole_from: None,
+    };
+    assert!(schedule.eventually_quiet());
+    schedule
+}
+
+/// Upgrades the victim's schedule with one permanently lethal fault.
+fn lethalize(mut schedule: ChaosSchedule, kind: u8) -> ChaosSchedule {
+    match kind {
+        0 => {} // no lethal fault this case
+        1 => schedule.blackhole_from = Some(Duration::ZERO),
+        2 => schedule.rules.push(ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::CorruptCrc,
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: None,
+        }),
+        _ => schedule.rules.push(ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::Disconnect,
+            probability: 1.0,
+            after_frame: 0,
+            until_frame: Some(1),
+        }),
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases_from_env()))]
+
+    #[test]
+    fn eventually_quiet_chaos_preserves_the_aggregation(
+        seed in any::<u64>(),
+        victim in 0u32..NODES,
+        lethal in 0u8..4,
+        delay_ms in 1u64..8,
+        drop_p in 0.0f64..0.4,
+        dup_p in 0.0f64..0.3,
+        window in 3u64..8,
+    ) {
+        let expected = oracle();
+        let (cluster, routes) =
+            spawn_local_cluster(data(), NetServerConfig::default()).expect("cluster boots");
+        let schedules: Vec<ChaosSchedule> = (0..NODES)
+            .map(|node| {
+                let s = benign(
+                    seed.wrapping_add(node as u64),
+                    delay_ms,
+                    drop_p,
+                    dup_p,
+                    window,
+                );
+                if node == victim { lethalize(s, lethal) } else { s }
+            })
+            .collect();
+        let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+        // max_retries must exceed the worst-case drop budget (see the
+        // module doc): 2 × w_max = 14 lost attempts < 17 allowed.
+        let cfg = NetConfig {
+            timeout: Duration::from_millis(100),
+            max_retries: 16,
+            ..NetConfig::default()
+        };
+        let mut master = NetMaster::connect(&addrs, cfg).expect("master connects");
+        let report = master
+            .run_query(&routes)
+            .expect("one sick replica must never fail the query");
+        master.shutdown();
+        for p in proxies {
+            let s = p.shutdown();
+            prop_assert_eq!(s.seq_regressions, 0, "send sequence regressed: {:?}", s);
+        }
+        cluster.shutdown();
+
+        prop_assert_eq!(
+            report.result.total_cells,
+            PARTITIONS * CELLS,
+            "missing values under chaos (victim {}, lethal {})",
+            victim,
+            lethal
+        );
+        prop_assert_eq!(
+            report.result.counts_by_kind,
+            expected,
+            "wrong values under chaos (victim {}, lethal {})",
+            victim,
+            lethal
+        );
+    }
+}
