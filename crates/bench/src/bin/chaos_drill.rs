@@ -8,24 +8,32 @@
 //! lands to the simulator's prediction — the cross-validation that ties
 //! the TCP engine's failover behaviour back to the paper's model.
 //!
+//! A second scenario exercises the tail instead of the blackhole: node 0's
+//! responses are randomly held 40 ms (a straggling replica), the query is
+//! run open-loop with and without hedged reads, and the measured p99
+//! improvement is cross-validated against `cluster::sim`'s `Straggler` +
+//! `hedge` replay of the same arrival schedule.
+//!
 //! Knobs (environment):
 //! - `KVSCALE_DRILL_PARTITIONS` — partitions / requests (default 48)
 //! - `KVSCALE_DRILL_CELLS` — values per partition (default 8)
+//! - `KVSCALE_DRILL_STRAGGLER_PARTITIONS` — requests in the straggler
+//!   scenario (default 240)
 //!
-//! Output: a per-stage table for both runs and
-//! `target/figures/chaos_drill.csv`.
+//! Output: per-stage tables, `target/figures/chaos_drill.csv` and
+//! `target/figures/chaos_drill_straggler.csv`.
 
 use kvs_bench::{banner, fmt_ms, Csv};
-use kvs_cluster::config::NodeFailure;
+use kvs_cluster::config::{NodeFailure, Straggler};
 use kvs_cluster::data::uniform_partitions;
-use kvs_cluster::sim::run_query;
-use kvs_cluster::{ClusterConfig, ClusterData, ReplicaPolicy};
+use kvs_cluster::sim::{run_query, run_query_paced};
+use kvs_cluster::{ClusterConfig, ClusterData, ReplicaPolicy, RunResult};
 use kvs_net::{
-    spawn_local_cluster, wrap_cluster, ChaosSchedule, NetConfig, NetMaster, NetRunReport,
-    NetServerConfig,
+    spawn_local_cluster, wrap_cluster, ChaosDirection, ChaosRule, ChaosSchedule, FaultAction,
+    HedgeConfig, NetConfig, NetMaster, NetRunReport, NetServerConfig,
 };
 use kvs_simcore::SimDuration;
-use kvs_stages::Stage;
+use kvs_stages::{RequestTrace, Stage};
 use kvs_store::TableOptions;
 use std::time::Duration;
 
@@ -91,6 +99,95 @@ fn print_stages(label: &str, report: &NetRunReport, stage_ms: &mut [f64; 4]) {
         }
     }
     println!();
+}
+
+/// p99 of the per-request end-to-end latencies, milliseconds.
+fn p99_ms(traces: &[RequestTrace]) -> f64 {
+    let mut totals: Vec<f64> = traces.iter().map(|t| t.total().as_millis_f64()).collect();
+    assert!(!totals.is_empty(), "no traces recorded");
+    totals.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((totals.len() as f64 * 0.99).ceil() as usize).clamp(1, totals.len());
+    totals[rank - 1]
+}
+
+/// Straggler-scenario constants, mirrored between the measured run and
+/// the simulator replay.
+const STRAGGLE_MS: u64 = 40;
+const STRAGGLE_P: f64 = 0.15;
+const HEDGE_AFTER_MS: u64 = 8;
+const ARRIVAL_GAP_NS: u64 = 3_000_000;
+const STRAGGLER_RF: usize = 2;
+
+/// One measured open-loop run with node 0's responses randomly held
+/// [`STRAGGLE_MS`]; `hedge` toggles hedged reads.
+fn straggler_measured(partitions: u64, cells: u64, hedge: Option<HedgeConfig>) -> NetRunReport {
+    let data = ClusterData::load(
+        NODES,
+        STRAGGLER_RF,
+        TableOptions::default(),
+        uniform_partitions(partitions, cells, 4),
+    );
+    let (cluster, routes) =
+        spawn_local_cluster(data, NetServerConfig::default()).expect("cluster boots");
+    let mut schedules = vec![ChaosSchedule {
+        seed: SEED,
+        rules: vec![ChaosRule {
+            direction: ChaosDirection::ToMaster,
+            action: FaultAction::Delay(Duration::from_millis(STRAGGLE_MS)),
+            probability: STRAGGLE_P,
+            after_frame: 0,
+            until_frame: Some(partitions),
+        }],
+        blackhole_from: None,
+    }];
+    schedules.extend((1..NODES as u64).map(ChaosSchedule::passthrough));
+    let (proxies, addrs) = wrap_cluster(&cluster.addrs(), schedules).expect("proxies boot");
+    let cfg = NetConfig {
+        hedge,
+        replica_policy: ReplicaPolicy::Primary,
+        ..NetConfig::default()
+    };
+    let mut master = NetMaster::connect(&addrs, cfg).expect("master connects");
+    let arrivals: Vec<u64> = (0..partitions).map(|i| i * ARRIVAL_GAP_NS).collect();
+    let report = master
+        .run_with_arrivals(&routes, Some(&arrivals))
+        .expect("query succeeds");
+    master.shutdown();
+    for p in proxies {
+        p.shutdown();
+    }
+    cluster.shutdown();
+    report
+}
+
+/// The simulator's replay of the same scenario: identical arrival
+/// schedule, a [`Straggler`] on the same node, and (optionally) the same
+/// fixed hedge delay.
+fn straggler_simulated(partitions: u64, cells: u64, hedged: bool) -> RunResult {
+    let mut cfg = ClusterConfig::paper_optimized_master(NODES).deterministic();
+    cfg.replication_factor = STRAGGLER_RF;
+    cfg.replica_policy = ReplicaPolicy::Primary;
+    cfg.stragglers = vec![Straggler {
+        node: VICTIM,
+        extra: SimDuration::from_millis(STRAGGLE_MS),
+        probability: STRAGGLE_P,
+    }];
+    if hedged {
+        cfg.hedge = Some(SimDuration::from_millis(HEDGE_AFTER_MS));
+    }
+    let mut sim_data = ClusterData::load(
+        NODES,
+        STRAGGLER_RF,
+        TableOptions::default(),
+        uniform_partitions(partitions, cells, 4),
+    );
+    let keys: Vec<_> = (0..partitions)
+        .map(kvs_store::PartitionKey::from_id)
+        .collect();
+    let arrivals: Vec<SimDuration> = (0..partitions)
+        .map(|i| SimDuration::from_nanos(i * ARRIVAL_GAP_NS))
+        .collect();
+    run_query_paced(&cfg, &mut sim_data, &keys, &arrivals)
 }
 
 fn main() {
@@ -211,6 +308,116 @@ fn main() {
             &format!("{measured_delta:.4}"),
             &format!("{predicted_delta:.4}"),
             &format!("{relative_error:.4}"),
+        ]);
+    }
+    csv.finish();
+
+    // ---- Scenario 2: straggling replica, hedged reads. ----
+    let straggler_partitions = env_u64("KVSCALE_DRILL_STRAGGLER_PARTITIONS", 240).max(100);
+    println!(
+        "\nstraggler: node {VICTIM} responses held {STRAGGLE_MS} ms with p = {STRAGGLE_P}, \
+         rf = {STRAGGLER_RF}, {straggler_partitions} requests arriving every \
+         {} ms; hedge after {HEDGE_AFTER_MS} ms\n",
+        ARRIVAL_GAP_NS / 1_000_000
+    );
+    let plain = straggler_measured(straggler_partitions, cells, None);
+    let hedged = straggler_measured(
+        straggler_partitions,
+        cells,
+        Some(HedgeConfig {
+            quantile: 0.95,
+            min_delay: Duration::from_millis(HEDGE_AFTER_MS),
+        }),
+    );
+    assert!(plain.result.coverage.is_complete(), "plain run lost data");
+    assert!(hedged.result.coverage.is_complete(), "hedged run lost data");
+    assert_eq!(
+        plain.result.counts_by_kind, hedged.result.counts_by_kind,
+        "hedged run returned different values"
+    );
+    let sim_plain = straggler_simulated(straggler_partitions, cells, false);
+    let sim_hedged = straggler_simulated(straggler_partitions, cells, true);
+
+    let p99 = [
+        p99_ms(&plain.result.traces),
+        p99_ms(&hedged.result.traces),
+        p99_ms(&sim_plain.traces),
+        p99_ms(&sim_hedged.traces),
+    ];
+    let measured_improvement = 1.0 - p99[1] / p99[0];
+    let sim_improvement = 1.0 - p99[3] / p99[2];
+    let improvement_error =
+        (measured_improvement - sim_improvement).abs() / sim_improvement.max(1e-9);
+    println!(
+        "measured p99: {} → {}  ({:.0}% cut, {} hedges, {} won, {:.1}% extra load)",
+        fmt_ms(p99[0]),
+        fmt_ms(p99[1]),
+        measured_improvement * 100.0,
+        hedged.hedges_sent,
+        hedged.hedges_won,
+        hedged.hedge_extra_load() * 100.0
+    );
+    println!(
+        "simulated p99: {} → {}  ({:.0}% cut, {} hedges, {} won)",
+        fmt_ms(p99[2]),
+        fmt_ms(p99[3]),
+        sim_improvement * 100.0,
+        sim_hedged.hedges_sent,
+        sim_hedged.hedges_won
+    );
+    println!(
+        "p99 improvement: measured {:.0}% vs simulated {:.0}%  ({:.0}% relative error)",
+        measured_improvement * 100.0,
+        sim_improvement * 100.0,
+        improvement_error * 100.0
+    );
+    assert!(
+        measured_improvement >= 0.30,
+        "hedging failed the acceptance bar: {:.0}% p99 cut",
+        measured_improvement * 100.0
+    );
+    assert!(
+        improvement_error <= 0.25,
+        "measured hedging benefit diverges from the simulator's: \
+         {measured_improvement:.2} vs {sim_improvement:.2}"
+    );
+
+    let mut csv = Csv::new(
+        "chaos_drill_straggler",
+        &[
+            "run",
+            "p99_ms",
+            "hedges_sent",
+            "hedges_won",
+            "improvement",
+            "improvement_error",
+        ],
+    );
+    for (run, p99_ms, sent, won, improvement) in [
+        ("measured_plain", p99[0], 0, 0, 0.0),
+        (
+            "measured_hedged",
+            p99[1],
+            hedged.hedges_sent,
+            hedged.hedges_won,
+            measured_improvement,
+        ),
+        ("sim_plain", p99[2], 0, 0, 0.0),
+        (
+            "sim_hedged",
+            p99[3],
+            sim_hedged.hedges_sent,
+            sim_hedged.hedges_won,
+            sim_improvement,
+        ),
+    ] {
+        csv.row(&[
+            &run,
+            &format!("{p99_ms:.4}"),
+            &sent,
+            &won,
+            &format!("{improvement:.4}"),
+            &format!("{improvement_error:.4}"),
         ]);
     }
     csv.finish();

@@ -123,6 +123,20 @@ pub struct NodeFailure {
     pub at: SimDuration,
 }
 
+/// An injected straggler: a node whose responses are sometimes late (the
+/// GC pause / slow-disk / noisy-neighbor tail the paper's Formula 4 makes
+/// the whole query wait on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// The afflicted node.
+    pub node: u32,
+    /// Extra response-path delay when the straggle fires.
+    pub extra: SimDuration,
+    /// Per-response probability of the delay (seeded draw; deterministic
+    /// for a fixed config seed).
+    pub probability: f64,
+}
+
 /// Everything a simulated run needs besides the data and the key list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -149,6 +163,16 @@ pub struct ClusterConfig {
     /// How long the master waits before declaring a dead replica and
     /// retrying the next one.
     pub failure_timeout: SimDuration,
+    /// Injected stragglers (empty = no artificial tail).
+    pub stragglers: Vec<Straggler>,
+    /// Hedged replica reads: when set, any request unanswered this long
+    /// after dispatch is re-issued to the next live replica;
+    /// first-response-wins. Mirrors `kvs-net`'s hedging so the chaos drill
+    /// can cross-validate measured tail cuts against the model.
+    pub hedge: Option<SimDuration>,
+    /// Degraded mode: a sub-query whose every replica is dead completes as
+    /// a recorded miss ([`crate::Coverage`]` < 1`) instead of panicking.
+    pub degraded: bool,
     /// Master RNG seed (drives service noise and random policies).
     pub seed: u64,
 }
@@ -171,6 +195,9 @@ impl ClusterConfig {
             replication_factor: 1,
             failures: Vec::new(),
             failure_timeout: SimDuration::from_millis(500),
+            stragglers: Vec::new(),
+            hedge: None,
+            degraded: false,
             seed: 0x5EED,
         }
     }

@@ -44,10 +44,12 @@ pub mod sim;
 pub mod usl;
 
 pub use codec::{Codec, CodecKind};
-pub use config::{ClusterConfig, DbConfig, GcConfig, MasterConfig, NetworkConfig, NodeFailure};
+pub use config::{
+    ClusterConfig, DbConfig, GcConfig, MasterConfig, NetworkConfig, NodeFailure, Straggler,
+};
 pub use data::ClusterData;
 pub use messages::{QueryRequest, QueryResponse};
 pub use policy::ReplicaPolicy;
 pub use queue::QueueStats;
-pub use result::RunResult;
-pub use sim::{db_microbench, run_open_loop, run_query, OpenLoopResult};
+pub use result::{Coverage, RunResult};
+pub use sim::{db_microbench, run_open_loop, run_query, run_query_paced, OpenLoopResult};

@@ -21,7 +21,7 @@ use crate::codec::Codec;
 use crate::data::ClusterData;
 use crate::messages::{QueryRequest, QueryResponse};
 use crate::queue::{work_queue, QueueStats};
-use crate::result::RunResult;
+use crate::result::{Coverage, RunResult};
 use bytes::Bytes;
 use kvs_simcore::{SimDuration, SimTime};
 use kvs_stages::{analyze, Stage, TraceRecorder};
@@ -219,6 +219,10 @@ pub fn run_query_live(data: ClusterData, keys: &[PartitionKey], cfg: LiveConfig)
             send_last.saturating_duration_since(origin).as_nanos() as u64
         ),
         failovers: 0,
+        coverage: Coverage::complete(keys.len() as u64),
+        missed: Vec::new(),
+        hedges_sent: 0,
+        hedges_won: 0,
         queue: Some(queue_stats),
     }
 }

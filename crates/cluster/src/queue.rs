@@ -1,4 +1,4 @@
-//! Bounded work queues with *observable* backpressure.
+//! Bounded, deadline-aware work queues with *observable* backpressure.
 //!
 //! The paper's methodology hinges on the `in-queue` stage being a real,
 //! measurable quantity. An unbounded channel hides saturation: requests
@@ -8,11 +8,21 @@
 //! the wire). Both the in-process [`crate::live`] executor and the TCP
 //! `kvs-net` slave servers run their worker pools behind this type, so
 //! the two executors report saturation identically.
+//!
+//! Entries may carry an absolute deadline ([`WorkQueue::try_push_timed`]).
+//! A full queue evicts entries whose deadline has already passed before
+//! refusing new work, so expired requests never occupy capacity that live
+//! requests could use; the evicted items are handed back to the producer,
+//! which owns answering them (an `Expired` reply on the wire). Entries
+//! pushed through the untimed API never expire.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Deadline value meaning "never expires" (used by the untimed push API).
+pub const NO_DEADLINE: u64 = u64::MAX;
 
 /// Counters shared by all handles of one queue.
 #[derive(Debug, Default)]
@@ -20,6 +30,7 @@ struct Counters {
     pushed: AtomicU64,
     busy_rejections: AtomicU64,
     blocked_pushes: AtomicU64,
+    expired: AtomicU64,
     max_depth: AtomicUsize,
 }
 
@@ -33,6 +44,9 @@ pub struct QueueStats {
     /// Blocking pushes that found the queue full and had to wait
     /// ([`WorkQueue::push_blocking`]).
     pub blocked_pushes: u64,
+    /// Entries refused or evicted because their deadline had passed
+    /// ([`WorkQueue::try_push_timed`]).
+    pub expired: u64,
     /// High-water mark of the queue depth, observed at push time.
     pub max_depth: usize,
 }
@@ -44,6 +58,7 @@ impl QueueStats {
         self.pushed += other.pushed;
         self.busy_rejections += other.busy_rejections;
         self.blocked_pushes += other.blocked_pushes;
+        self.expired += other.expired;
         self.max_depth = self.max_depth.max(other.max_depth);
     }
 
@@ -53,17 +68,51 @@ impl QueueStats {
     }
 }
 
+/// Outcome of a deadline-carrying push ([`WorkQueue::try_push_timed`]).
+#[derive(Debug)]
+pub enum TimedPush<T> {
+    /// The item was enqueued. Any expired entries evicted to make room are
+    /// handed back — the caller owns answering them.
+    Accepted {
+        /// Expired entries evicted to make room for the accepted item.
+        evicted: Vec<T>,
+    },
+    /// The item's own deadline had already passed; it was never enqueued.
+    AlreadyExpired(T),
+    /// The queue is full of live (unexpired) work.
+    Full(T),
+    /// All consumers are gone.
+    Disconnected(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<(T, u64)>,
+    producers: usize,
+    consumers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    counters: Counters,
+    capacity: usize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// Producer handle of a bounded work queue.
 pub struct WorkQueue<T> {
-    tx: Sender<T>,
-    counters: Arc<Counters>,
-    capacity: usize,
+    shared: Arc<Shared<T>>,
 }
 
 /// Consumer handle of a bounded work queue.
 pub struct WorkSource<T> {
-    rx: Receiver<T>,
-    counters: Arc<Counters>,
+    shared: Arc<Shared<T>>,
 }
 
 /// Creates a bounded queue of at most `capacity` in-flight items.
@@ -72,85 +121,147 @@ pub struct WorkSource<T> {
 /// If `capacity == 0`.
 pub fn work_queue<T>(capacity: usize) -> (WorkQueue<T>, WorkSource<T>) {
     assert!(capacity > 0, "work queue needs capacity ≥ 1");
-    let (tx, rx) = bounded(capacity);
-    let counters = Arc::new(Counters::default());
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            items: VecDeque::with_capacity(capacity),
+            producers: 1,
+            consumers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        counters: Counters::default(),
+        capacity,
+    });
     (
         WorkQueue {
-            tx,
-            counters: counters.clone(),
-            capacity,
+            shared: shared.clone(),
         },
-        WorkSource { rx, counters },
+        WorkSource { shared },
     )
 }
 
 impl<T> WorkQueue<T> {
     /// Offers an item without blocking. Returns it back when the queue is
     /// full (counted as a busy rejection — the caller replies `Busy` or
-    /// retries) or when all consumers are gone.
+    /// retries) or when all consumers are gone. The item never expires.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        match self.tx.try_send(item) {
-            Ok(()) => {
-                self.note_push();
-                Ok(())
-            }
-            Err(TrySendError::Full(item)) => {
-                self.counters
-                    .busy_rejections
-                    .fetch_add(1, Ordering::Relaxed);
-                Err(item)
-            }
-            Err(TrySendError::Disconnected(item)) => Err(item),
+        match self.try_push_timed(item, NO_DEADLINE, 0) {
+            TimedPush::Accepted { .. } => Ok(()),
+            TimedPush::Full(item) | TimedPush::Disconnected(item) => Err(item),
+            // Unreachable: NO_DEADLINE never expires.
+            TimedPush::AlreadyExpired(item) => Err(item),
         }
+    }
+
+    /// Offers an item carrying an absolute deadline (same clock and unit
+    /// as `now` — the caller supplies both, typically wall nanoseconds).
+    /// An item whose deadline has already passed is refused outright; a
+    /// full queue first evicts entries whose deadlines have passed and
+    /// hands them back so the producer can answer them.
+    pub fn try_push_timed(&self, item: T, deadline: u64, now: u64) -> TimedPush<T> {
+        let c = &self.shared.counters;
+        if deadline <= now {
+            c.expired.fetch_add(1, Ordering::Relaxed);
+            return TimedPush::AlreadyExpired(item);
+        }
+        let mut g = self.shared.lock();
+        if g.consumers == 0 {
+            return TimedPush::Disconnected(item);
+        }
+        let mut evicted = Vec::new();
+        if g.items.len() >= self.shared.capacity {
+            let mut kept = VecDeque::with_capacity(g.items.len());
+            for (it, dl) in g.items.drain(..) {
+                if dl <= now {
+                    evicted.push(it);
+                } else {
+                    kept.push_back((it, dl));
+                }
+            }
+            g.items = kept;
+            c.expired.fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        }
+        if g.items.len() >= self.shared.capacity {
+            c.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return TimedPush::Full(item);
+        }
+        g.items.push_back((item, deadline));
+        self.note_push(g.items.len());
+        drop(g);
+        self.shared.not_empty.notify_one();
+        if !evicted.is_empty() {
+            // Eviction freed at least one slot beyond the one we used.
+            self.shared.not_full.notify_all();
+        }
+        TimedPush::Accepted { evicted }
     }
 
     /// Pushes an item, blocking while the queue is full. A push that had
     /// to wait is counted, making silent saturation visible in
     /// [`QueueStats::blocked_pushes`]. Returns the item back only when all
-    /// consumers are gone.
+    /// consumers are gone. The item never expires.
     pub fn push_blocking(&self, item: T) -> Result<(), T> {
-        match self.tx.try_send(item) {
-            Ok(()) => {
-                self.note_push();
-                Ok(())
-            }
-            Err(TrySendError::Full(item)) => {
-                self.counters.blocked_pushes.fetch_add(1, Ordering::Relaxed);
-                match self.tx.send(item) {
-                    Ok(()) => {
-                        self.note_push();
-                        Ok(())
-                    }
-                    Err(e) => Err(e.0),
-                }
-            }
-            Err(TrySendError::Disconnected(item)) => Err(item),
+        let mut g = self.shared.lock();
+        if g.consumers == 0 {
+            return Err(item);
         }
+        if g.items.len() >= self.shared.capacity {
+            self.shared
+                .counters
+                .blocked_pushes
+                .fetch_add(1, Ordering::Relaxed);
+            while g.items.len() >= self.shared.capacity && g.consumers > 0 {
+                g = self
+                    .shared
+                    .not_full
+                    .wait(g)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if g.consumers == 0 {
+                return Err(item);
+            }
+        }
+        g.items.push_back((item, NO_DEADLINE));
+        self.note_push(g.items.len());
+        drop(g);
+        self.shared.not_empty.notify_one();
+        Ok(())
     }
 
-    fn note_push(&self) {
-        self.counters.pushed.fetch_add(1, Ordering::Relaxed);
-        let depth = self.tx.len();
-        self.counters.max_depth.fetch_max(depth, Ordering::Relaxed);
+    fn note_push(&self, depth: usize) {
+        let c = &self.shared.counters;
+        c.pushed.fetch_add(1, Ordering::Relaxed);
+        c.max_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.shared.capacity
     }
 
     /// Snapshot of the backpressure counters.
     pub fn stats(&self) -> QueueStats {
-        self.counters.snapshot()
+        self.shared.counters.snapshot()
     }
 }
 
 impl<T> Clone for WorkQueue<T> {
     fn clone(&self) -> Self {
+        self.shared.lock().producers += 1;
         WorkQueue {
-            tx: self.tx.clone(),
-            counters: self.counters.clone(),
-            capacity: self.capacity,
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for WorkQueue<T> {
+    fn drop(&mut self) {
+        let mut g = self.shared.lock();
+        g.producers -= 1;
+        if g.producers == 0 {
+            drop(g);
+            // Wake consumers blocked on an empty queue so they observe EOF.
+            self.shared.not_empty.notify_all();
         }
     }
 }
@@ -159,29 +270,78 @@ impl<T> WorkSource<T> {
     /// Takes the next item, blocking until one arrives; `None` once all
     /// producers are gone and the queue drained.
     pub fn recv(&self) -> Option<T> {
-        self.rx.recv().ok()
+        let mut g = self.shared.lock();
+        loop {
+            if let Some((item, _)) = g.items.pop_front() {
+                drop(g);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if g.producers == 0 {
+                return None;
+            }
+            g = self
+                .shared
+                .not_empty
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     /// Takes the next item, waiting at most `timeout`; `None` on timeout
     /// or disconnection.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(v) => Some(v),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        let give_up = Instant::now() + timeout;
+        let mut g = self.shared.lock();
+        loop {
+            if let Some((item, _)) = g.items.pop_front() {
+                drop(g);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if g.producers == 0 {
+                return None;
+            }
+            let left = give_up.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, res) = self
+                .shared
+                .not_empty
+                .wait_timeout(g, left)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+            if res.timed_out() && g.items.is_empty() {
+                return None;
+            }
         }
     }
 
     /// Snapshot of the backpressure counters.
     pub fn stats(&self) -> QueueStats {
-        self.counters.snapshot()
+        self.shared.counters.snapshot()
     }
 }
 
 impl<T> Clone for WorkSource<T> {
     fn clone(&self) -> Self {
+        self.shared.lock().consumers += 1;
         WorkSource {
-            rx: self.rx.clone(),
-            counters: self.counters.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for WorkSource<T> {
+    fn drop(&mut self) {
+        let mut g = self.shared.lock();
+        g.consumers -= 1;
+        if g.consumers == 0 {
+            drop(g);
+            // Wake producers blocked on a full queue so they observe the
+            // disconnect instead of waiting forever.
+            self.shared.not_full.notify_all();
         }
     }
 }
@@ -192,6 +352,7 @@ impl Counters {
             pushed: self.pushed.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             blocked_pushes: self.blocked_pushes.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             max_depth: self.max_depth.load(Ordering::Relaxed),
         }
     }
@@ -265,22 +426,78 @@ mod tests {
     }
 
     #[test]
+    fn push_fails_after_consumers_gone() {
+        let (q, src) = work_queue(4);
+        drop(src);
+        assert_eq!(q.try_push(1), Err(1));
+        assert_eq!(q.push_blocking(2), Err(2));
+        assert!(matches!(
+            q.try_push_timed(3, NO_DEADLINE, 0),
+            TimedPush::Disconnected(3)
+        ));
+    }
+
+    #[test]
+    fn expired_item_refused_at_push() {
+        let (q, _src) = work_queue::<u32>(4);
+        assert!(matches!(
+            q.try_push_timed(7, 100, 100),
+            TimedPush::AlreadyExpired(7)
+        ));
+        assert!(matches!(
+            q.try_push_timed(8, 50, 100),
+            TimedPush::AlreadyExpired(8)
+        ));
+        assert_eq!(q.stats().expired, 2);
+        assert_eq!(q.stats().pushed, 0);
+    }
+
+    #[test]
+    fn full_queue_evicts_expired_entries() {
+        let (q, src) = work_queue::<u32>(2);
+        // Both entries expire at t = 10; queue full.
+        assert!(matches!(
+            q.try_push_timed(1, 10, 0),
+            TimedPush::Accepted { .. }
+        ));
+        assert!(matches!(
+            q.try_push_timed(2, 10, 0),
+            TimedPush::Accepted { .. }
+        ));
+        // Still before the deadlines: full of live work.
+        assert!(matches!(q.try_push_timed(3, 100, 5), TimedPush::Full(3)));
+        // Past the deadlines: both dead entries evicted, new one accepted.
+        match q.try_push_timed(3, 100, 20) {
+            TimedPush::Accepted { evicted } => assert_eq!(evicted, vec![1, 2]),
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        assert_eq!(src.recv(), Some(3));
+        let s = q.stats();
+        assert_eq!(s.expired, 2);
+        assert_eq!(s.busy_rejections, 1);
+        assert_eq!(s.pushed, 3);
+    }
+
+    #[test]
     fn stats_merge_sums_and_maxes() {
         let mut a = QueueStats {
             pushed: 5,
             busy_rejections: 1,
             blocked_pushes: 0,
+            expired: 2,
             max_depth: 3,
         };
         a.merge(&QueueStats {
             pushed: 7,
             busy_rejections: 0,
             blocked_pushes: 2,
+            expired: 1,
             max_depth: 9,
         });
         assert_eq!(a.pushed, 12);
         assert_eq!(a.busy_rejections, 1);
         assert_eq!(a.blocked_pushes, 2);
+        assert_eq!(a.expired, 3);
         assert_eq!(a.max_depth, 9);
     }
 

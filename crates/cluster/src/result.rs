@@ -4,6 +4,42 @@ use kvs_simcore::SimDuration;
 use kvs_stages::{RequestTrace, StageReport};
 use std::collections::BTreeMap;
 
+/// How much of a query was actually answered. A healthy run answers every
+/// sub-query (`answered == total`); a degraded-mode run with dead
+/// partitions completes with `answered < total` instead of erroring, and
+/// the caller reads the gap here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Sub-queries that produced an answer.
+    pub answered: u64,
+    /// Sub-queries issued.
+    pub total: u64,
+}
+
+impl Coverage {
+    /// Full coverage over `total` sub-queries.
+    pub fn complete(total: u64) -> Coverage {
+        Coverage {
+            answered: total,
+            total,
+        }
+    }
+
+    /// Answered fraction in `[0, 1]` (an empty query counts as complete).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.answered as f64 / self.total as f64
+        }
+    }
+
+    /// True when every sub-query was answered.
+    pub fn is_complete(&self) -> bool {
+        self.answered == self.total
+    }
+}
+
 /// Everything a run produces: correctness output, traces, and the derived
 /// quantities the paper's figures plot.
 #[derive(Debug)]
@@ -28,6 +64,17 @@ pub struct RunResult {
     pub issue_span: SimDuration,
     /// Failover retries performed (failure-injection runs; 0 when healthy).
     pub failovers: u64,
+    /// Answered vs issued sub-queries. Complete except in degraded-mode
+    /// runs that lost partitions.
+    pub coverage: Coverage,
+    /// Request ids of unanswered sub-queries, sorted (empty when
+    /// `coverage.is_complete()`).
+    pub missed: Vec<u64>,
+    /// Hedged (duplicate) requests issued to a second replica; 0 when
+    /// hedging is off.
+    pub hedges_sent: u64,
+    /// Hedged requests whose duplicate answered first.
+    pub hedges_won: u64,
     /// Slave work-queue backpressure counters, merged over all nodes.
     /// `None` for the simulator, whose queueing is modelled analytically.
     pub queue: Option<crate::queue::QueueStats>,
@@ -86,6 +133,10 @@ mod tests {
             bytes_to_master: 0,
             issue_span: SimDuration::ZERO,
             failovers: 0,
+            coverage: Coverage::complete(0),
+            missed: Vec::new(),
+            hedges_sent: 0,
+            hedges_won: 0,
             queue: None,
         }
     }

@@ -21,13 +21,13 @@
 use crate::config::ClusterConfig;
 use crate::data::ClusterData;
 use crate::messages::{QueryRequest, QueryResponse};
-use crate::result::RunResult;
+use crate::result::{Coverage, RunResult};
 use crate::usl;
 use kvs_simcore::{Dist, Engine, Resource, RngHub, SimDuration, SimTime};
 use kvs_stages::{analyze, Stage, TraceRecorder};
 use kvs_store::PartitionKey;
 use rand::rngs::StdRng;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -55,6 +55,10 @@ struct SharedState {
     failovers: u64,
     send_first: Option<SimTime>,
     send_last: SimTime,
+    misses: Vec<u64>,
+    hedges_sent: u64,
+    hedges_won: u64,
+    extra_bytes_to_slaves: u64,
 }
 
 /// True when `node` has failed by instant `at` under the injected failure
@@ -86,6 +90,104 @@ fn sample_service_ms(cfg: &ClusterConfig, base_ms: f64, mean_ms: f64, rng: &mut 
     dist.sample(rng)
 }
 
+/// Everything one in-flight attempt (primary or hedge) of a sub-query
+/// needs, shared between the closure hops of its lifecycle.
+struct AttemptEnv {
+    cfg: Rc<ClusterConfig>,
+    st: Rc<RefCell<SharedState>>,
+    dbs: Rc<Vec<Resource>>,
+    master_rx: Rc<Vec<Resource>>,
+    shard: usize,
+    p: Rc<Prepared>,
+    /// First-response-wins flag shared by the primary and its hedge.
+    done: Rc<Cell<bool>>,
+    /// When the master-to-slaves stage of this request began (t=0 for the
+    /// batch query; the arrival instant for paced runs).
+    issued_at: SimTime,
+}
+
+/// Plays out one attempt of a sub-query against `node`: request transit
+/// (plus any failover `penalty`), database service, response transit
+/// (straggler-inflated when one is injected on the node), master receive.
+/// Only the first attempt of a request to complete records its trace and
+/// its answer; the loser is dropped at the recording point, exactly as the
+/// network master deduplicates a lost hedge's late response.
+fn launch_attempt(
+    eng: &mut Engine,
+    env: Rc<AttemptEnv>,
+    node: u32,
+    penalty: SimDuration,
+    is_hedge: bool,
+) {
+    let transit = env.cfg.network.transit(env.p.req_bytes) + penalty;
+    let env0 = env.clone();
+    eng.schedule_in(transit, move |eng| {
+        let env = env0;
+        if env.done.get() {
+            return; // answered before this attempt even arrived
+        }
+        let arrival = eng.now();
+        let db = env.dbs[node as usize].clone();
+        let service = {
+            let mut s = env.st.borrow_mut();
+            let k = (db.busy() + db.queue_len() + 1).min(env.cfg.db.parallelism);
+            let inflation = usl::params_for_cells(env.p.cells).inflation(k);
+            let mean_ms = env.p.base_service_ms * inflation + env.cfg.gc.db_extra_ms(env.p.cells);
+            SimDuration::from_millis_f64(sample_service_ms(
+                &env.cfg,
+                env.p.base_service_ms,
+                mean_ms,
+                &mut s.rng,
+            ))
+        };
+        let env1 = env.clone();
+        db.submit(eng, service, move |eng, job| {
+            let env = env1;
+            let mut transit_back = env.cfg.network.transit(env.p.resp_bytes);
+            {
+                let mut s = env.st.borrow_mut();
+                for straggle in env.cfg.stragglers.iter().filter(|f| f.node == node) {
+                    if rand::Rng::gen_bool(&mut s.rng, straggle.probability.clamp(0.0, 1.0)) {
+                        transit_back += straggle.extra;
+                    }
+                }
+            }
+            let (enqueued_at, started_at, db_done) =
+                (job.enqueued_at, job.started_at, job.completed_at);
+            let env2 = env.clone();
+            eng.schedule_in(transit_back, move |eng| {
+                let env = env2;
+                let rx_time = env.cfg.master_rx_time();
+                let env3 = env.clone();
+                env.master_rx[env.shard].submit(eng, rx_time, move |eng, _rx_job| {
+                    let env = env3;
+                    if env.done.replace(true) {
+                        return; // lost the race; duplicate answer dropped
+                    }
+                    let mut s = env.st.borrow_mut();
+                    let id = env.p.request_id;
+                    s.recorder.begin(id, node, env.p.cells);
+                    s.recorder
+                        .record(id, Stage::MasterToSlave, env.issued_at, arrival);
+                    s.recorder
+                        .record(id, Stage::InQueue, enqueued_at, started_at);
+                    s.recorder.record(id, Stage::InDb, started_at, db_done);
+                    s.recorder
+                        .record(id, Stage::SlaveToMaster, db_done, eng.now());
+                    if is_hedge {
+                        s.hedges_won += 1;
+                    }
+                    for (&kind, &count) in &env.p.response.counts {
+                        *s.counts.entry(kind).or_insert(0) += count;
+                    }
+                    s.total_cells += env.p.response.cells;
+                    s.pending -= 1;
+                });
+            });
+        });
+    });
+}
+
 /// Runs one distributed aggregation over `keys` and returns the full
 /// result. Deterministic for a given `(config, data, keys)` triple.
 ///
@@ -110,6 +212,33 @@ pub fn run_query(
     config: &ClusterConfig,
     data: &mut ClusterData,
     keys: &[PartitionKey],
+) -> RunResult {
+    run_query_inner(config, data, keys, None)
+}
+
+/// Like [`run_query`], but request `i` enters the master's send loop only
+/// once `arrivals[i]` has elapsed from query start (open-loop pacing), and
+/// its master-to-slaves stage is measured from that arrival instead of
+/// t=0. The chaos drill uses this to replay a measured run's arrival
+/// process through the model.
+///
+/// # Panics
+/// Same contracts as [`run_query`], plus one arrival offset per key.
+pub fn run_query_paced(
+    config: &ClusterConfig,
+    data: &mut ClusterData,
+    keys: &[PartitionKey],
+    arrivals: &[SimDuration],
+) -> RunResult {
+    assert_eq!(arrivals.len(), keys.len(), "one arrival offset per key");
+    run_query_inner(config, data, keys, Some(arrivals))
+}
+
+fn run_query_inner(
+    config: &ClusterConfig,
+    data: &mut ClusterData,
+    keys: &[PartitionKey],
+    arrivals: Option<&[SimDuration]>,
 ) -> RunResult {
     assert_eq!(
         config.nodes,
@@ -163,6 +292,10 @@ pub fn run_query(
         failovers: 0,
         send_first: None,
         send_last: SimTime::ZERO,
+        misses: Vec::new(),
+        hedges_sent: 0,
+        hedges_won: 0,
+        extra_bytes_to_slaves: 0,
     }));
     let shards = cfg.master_shards.max(1);
     let master_tx: Vec<Resource> = (0..shards)
@@ -179,7 +312,8 @@ pub fn run_query(
             .collect(),
     );
 
-    for p in prepared {
+    for (idx, p) in prepared.into_iter().enumerate() {
+        let p = Rc::new(p);
         // Master send CPU: serialization + policy overhead (+ a GC pause
         // every N messages).
         let mut tx_service = cfg.master_tx_time()
@@ -200,119 +334,109 @@ pub fn run_query(
         let cfg = cfg.clone();
         let dbs = dbs.clone();
         let master_rx = master_rx.clone();
-        master_tx[shard].submit(&mut eng, tx_service, move |eng, tx_report| {
-            // Replica choice happens at send time with live load info.
-            let pick = {
-                let mut s = st.borrow_mut();
-                s.send_first.get_or_insert(tx_report.started_at);
-                s.send_last = s.send_last.max(tx_report.completed_at);
-                let loads: Vec<usize> = p
-                    .replicas
-                    .iter()
-                    .map(|&n| dbs[n as usize].busy() + dbs[n as usize].queue_len())
-                    .collect();
-                let counter = s.dispatch_counter;
-                s.dispatch_counter += 1;
-                cfg.replica_policy
-                    .pick(p.replicas.len(), &loads, counter, &mut s.rng)
-            };
-            // Failure injection: a dead replica costs a timeout, then the
-            // master walks the replica list for the next live one.
-            let base_transit = cfg.network.transit(p.req_bytes);
-            let mut attempt = pick;
-            let mut penalty = SimDuration::ZERO;
-            let mut tried = 0usize;
-            while node_is_dead(
-                &cfg,
-                p.replicas[attempt],
-                eng.now() + base_transit + penalty,
-            ) {
-                tried += 1;
-                assert!(
-                    tried <= p.replicas.len(),
-                    "every replica of request {} is dead — unservable query",
-                    p.request_id
-                );
-                penalty += cfg.failure_timeout;
-                attempt = (attempt + 1) % p.replicas.len();
-            }
-            if tried > 0 {
-                st.borrow_mut().failovers += tried as u64;
-            }
-            let node = p.replicas[attempt];
-            let transit = base_transit + penalty;
-            let st = st.clone();
-            let cfg = cfg.clone();
-            let dbs = dbs.clone();
-            let master_rx = master_rx.clone();
-            eng.schedule_in(transit, move |eng| {
-                let arrival = eng.now();
-                // The paper's master-to-slaves stage runs from issue (t=0,
-                // the master knows all keys up front) to slave receipt.
-                let db = dbs[node as usize].clone();
-                let service = {
+        let arrival_at = arrivals
+            .map(|a| SimTime::ZERO + a[idx])
+            .unwrap_or(SimTime::ZERO);
+        let mtx = master_tx[shard].clone();
+        let dispatch = move |eng: &mut Engine| {
+            // The paper's master-to-slaves stage runs from issue (t=0 in
+            // the batch query, where the master knows all keys up front;
+            // the arrival instant in paced runs) to slave receipt.
+            let issued_at = eng.now();
+            mtx.submit(eng, tx_service, move |eng, tx_report| {
+                // Replica choice happens at send time with live load info.
+                let pick = {
                     let mut s = st.borrow_mut();
-                    s.recorder.begin(p.request_id, node, p.cells);
-                    s.recorder
-                        .record(p.request_id, Stage::MasterToSlave, SimTime::ZERO, arrival);
-                    // Interference: concurrency this request will roughly
-                    // experience = what is already there + itself, capped
-                    // by the executor width.
-                    let k = (db.busy() + db.queue_len() + 1).min(cfg.db.parallelism);
-                    let inflation = usl::params_for_cells(p.cells).inflation(k);
-                    let mean_ms = p.base_service_ms * inflation + cfg.gc.db_extra_ms(p.cells);
-                    SimDuration::from_millis_f64(sample_service_ms(
-                        &cfg,
-                        p.base_service_ms,
-                        mean_ms,
-                        &mut s.rng,
-                    ))
+                    s.send_first.get_or_insert(tx_report.started_at);
+                    s.send_last = s.send_last.max(tx_report.completed_at);
+                    let loads: Vec<usize> = p
+                        .replicas
+                        .iter()
+                        .map(|&n| dbs[n as usize].busy() + dbs[n as usize].queue_len())
+                        .collect();
+                    let counter = s.dispatch_counter;
+                    s.dispatch_counter += 1;
+                    cfg.replica_policy
+                        .pick(p.replicas.len(), &loads, counter, &mut s.rng)
                 };
-                let st = st.clone();
-                let cfg = cfg.clone();
-                let master_rx = master_rx.clone();
-                db.submit(eng, service, move |eng, job| {
-                    {
-                        let mut s = st.borrow_mut();
-                        s.recorder.record(
-                            p.request_id,
-                            Stage::InQueue,
-                            job.enqueued_at,
-                            job.started_at,
-                        );
-                        s.recorder.record(
-                            p.request_id,
-                            Stage::InDb,
-                            job.started_at,
-                            job.completed_at,
+                // Failure injection: a dead replica costs a timeout, then
+                // the master walks the replica list for the next live one.
+                let base_transit = cfg.network.transit(p.req_bytes);
+                let mut attempt = pick;
+                let mut penalty = SimDuration::ZERO;
+                let mut tried = 0usize;
+                while node_is_dead(
+                    &cfg,
+                    p.replicas[attempt],
+                    eng.now() + base_transit + penalty,
+                ) {
+                    tried += 1;
+                    if tried > p.replicas.len() {
+                        // Out of replicas: a recorded miss in degraded
+                        // mode, an experiment-harness failure otherwise.
+                        if cfg.degraded {
+                            let mut s = st.borrow_mut();
+                            s.failovers += tried as u64 - 1;
+                            s.misses.push(p.request_id);
+                            s.pending -= 1;
+                            return;
+                        }
+                        panic!(
+                            "every replica of request {} is dead — unservable query",
+                            p.request_id
                         );
                     }
-                    let transit_back = cfg.network.transit(p.resp_bytes);
-                    let st = st.clone();
-                    let cfg = cfg.clone();
-                    let master_rx = master_rx.clone();
-                    let db_done = job.completed_at;
-                    eng.schedule_in(transit_back, move |eng| {
-                        let rx_time = cfg.master_rx_time();
-                        let st = st.clone();
-                        master_rx[shard].submit(eng, rx_time, move |eng, _rx_job| {
-                            let mut s = st.borrow_mut();
-                            s.recorder.record(
-                                p.request_id,
-                                Stage::SlaveToMaster,
-                                db_done,
-                                eng.now(),
-                            );
-                            for (&kind, &count) in &p.response.counts {
-                                *s.counts.entry(kind).or_insert(0) += count;
-                            }
-                            s.total_cells += p.response.cells;
-                            s.pending -= 1;
-                        });
-                    });
+                    penalty += cfg.failure_timeout;
+                    attempt = (attempt + 1) % p.replicas.len();
+                }
+                if tried > 0 {
+                    st.borrow_mut().failovers += tried as u64;
+                }
+                let node = p.replicas[attempt];
+                let env = Rc::new(AttemptEnv {
+                    cfg: cfg.clone(),
+                    st: st.clone(),
+                    dbs,
+                    master_rx,
+                    shard,
+                    p: p.clone(),
+                    done: Rc::new(Cell::new(false)),
+                    issued_at,
                 });
+                launch_attempt(eng, env.clone(), node, penalty, false);
+                // Hedge: if the request is still unanswered `delay` after
+                // dispatch, re-issue it to the next live replica. The
+                // duplicate bypasses the master-tx resource — a deliberate
+                // approximation (the real master's hedge is sent from the
+                // collect loop, off the issue path's critical resource).
+                if let Some(delay) = cfg.hedge {
+                    if p.replicas.len() > 1 {
+                        let primary_ix = attempt;
+                        eng.schedule_in(delay, move |eng| {
+                            if env.done.get() {
+                                return;
+                            }
+                            let n = env.p.replicas.len();
+                            let target = (1..n)
+                                .map(|step| env.p.replicas[(primary_ix + step) % n])
+                                .find(|&cand| !node_is_dead(&env.cfg, cand, eng.now()));
+                            let Some(hnode) = target else { return };
+                            {
+                                let mut s = env.st.borrow_mut();
+                                s.hedges_sent += 1;
+                                s.extra_bytes_to_slaves += env.p.req_bytes as u64;
+                            }
+                            launch_attempt(eng, env.clone(), hnode, SimDuration::ZERO, true);
+                        });
+                    }
+                }
             });
-        });
+        };
+        if arrivals.is_some() {
+            eng.schedule_at(arrival_at, dispatch);
+        } else {
+            dispatch(&mut eng);
+        }
     }
 
     eng.run();
@@ -327,6 +451,9 @@ pub fn run_query(
         Some(first) => state.send_last - first,
         None => SimDuration::ZERO,
     };
+    let mut misses = state.misses;
+    misses.sort_unstable();
+    misses.dedup();
     RunResult {
         makespan: report.makespan,
         report,
@@ -334,10 +461,17 @@ pub fn run_query(
         counts_by_kind: state.counts,
         total_cells: state.total_cells,
         messages: state.msgs_sent,
-        bytes_to_slaves,
+        bytes_to_slaves: bytes_to_slaves + state.extra_bytes_to_slaves,
         bytes_to_master,
         issue_span,
         failovers: state.failovers,
+        coverage: Coverage {
+            answered: keys.len() as u64 - misses.len() as u64,
+            total: keys.len() as u64,
+        },
+        missed: misses,
+        hedges_sent: state.hedges_sent,
+        hedges_won: state.hedges_won,
         queue: None,
     }
 }

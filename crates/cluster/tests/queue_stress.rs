@@ -166,6 +166,130 @@ fn concurrent_producers_conserve_items_and_respect_capacity() {
     );
 }
 
+/// A queue with no capacity can hold nothing and can serve nobody —
+/// construction is the right place to fail, loudly.
+#[test]
+#[should_panic(expected = "capacity")]
+fn zero_capacity_queue_is_refused_at_construction() {
+    let _ = work_queue::<Item>(0);
+}
+
+/// Deadline pressure under contention: producers race items with mixed
+/// deadlines into a tiny queue while a slow consumer keeps it full. What
+/// must hold: every already-expired push is refused (never enqueued),
+/// every accepted-then-evicted item is handed back exactly once, and
+/// conservation covers all three outcomes — consumed + evicted accounted
+/// against accepted, with nothing duplicated or lost.
+#[test]
+fn expired_pushes_and_evictions_conserve_items_under_contention() {
+    use kvs_cluster::queue::{TimedPush, NO_DEADLINE};
+    let (queue, source) = work_queue::<Item>(4);
+    let consumed = {
+        let source = source.clone();
+        thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(item) = source.recv() {
+                thread::sleep(Duration::from_micros(100));
+                got.push(item);
+            }
+            got
+        })
+    };
+
+    let accepted = Arc::new(AtomicU64::new(0));
+    let refused_expired = Arc::new(AtomicU64::new(0));
+    let evicted_back = Arc::new(AtomicU64::new(0));
+    let full = Arc::new(AtomicU64::new(0));
+    let producers: Vec<_> = (0..4u64)
+        .map(|p| {
+            let queue = queue.clone();
+            let accepted = accepted.clone();
+            let refused_expired = refused_expired.clone();
+            let evicted_back = evicted_back.clone();
+            let full = full.clone();
+            thread::spawn(move || {
+                for seq in 0..200u64 {
+                    // Clock marches one tick per push; every third item is
+                    // born with a deadline 2 ticks out, so queue dwell
+                    // under the slow consumer routinely expires it.
+                    let now = seq;
+                    let (deadline, already_expired) = match seq % 3 {
+                        0 => (NO_DEADLINE, false),
+                        1 => (now + 2, false),
+                        _ => (now.saturating_sub(1), true), // expired at push
+                    };
+                    match queue.try_push_timed((p, seq), deadline, now) {
+                        TimedPush::Accepted { evicted } => {
+                            assert!(!already_expired, "expired item accepted");
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                            evicted_back.fetch_add(evicted.len() as u64, Ordering::Relaxed);
+                        }
+                        TimedPush::AlreadyExpired(item) => {
+                            assert!(already_expired, "live item {item:?} refused as expired");
+                            refused_expired.fetch_add(1, Ordering::Relaxed);
+                        }
+                        TimedPush::Full(_) => {
+                            full.fetch_add(1, Ordering::Relaxed);
+                        }
+                        TimedPush::Disconnected(_) => panic!("consumer alive"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().expect("producer panicked");
+    }
+    drop(queue);
+    let consumed = consumed.join().expect("consumer panicked");
+
+    // Every push with a past deadline was refused: 4 producers × ⌈200/3⌉.
+    assert_eq!(refused_expired.load(Ordering::Relaxed), 4 * 66);
+    // Conservation: accepted items either reached the consumer or came
+    // back out of an eviction.
+    let accepted = accepted.load(Ordering::Relaxed);
+    let evicted = evicted_back.load(Ordering::Relaxed);
+    assert_eq!(
+        consumed.len() as u64 + evicted,
+        accepted,
+        "items lost or duplicated (consumed {} evicted {evicted} accepted {accepted})",
+        consumed.len()
+    );
+    let stats = queue_stats_of(&source);
+    assert_eq!(stats.pushed, accepted);
+    assert_eq!(
+        stats.expired,
+        refused_expired.load(Ordering::Relaxed) + evicted
+    );
+}
+
+fn queue_stats_of(source: &kvs_cluster::queue::WorkSource<Item>) -> QueueStats {
+    source.stats()
+}
+
+/// Producers hang up with items still queued: the consumer must drain
+/// every accepted item before `recv` reports disconnection — shutdown
+/// drops the *entrance*, never the work already admitted.
+#[test]
+fn consumer_drains_fully_after_producers_shut_down() {
+    let (queue, source) = work_queue::<Item>(64);
+    for seq in 0..40u64 {
+        queue.try_push((0, seq)).expect("queue has room");
+    }
+    drop(queue); // all producers gone, 40 items stranded
+    let mut got = Vec::new();
+    while let Some(item) = source.recv() {
+        got.push(item);
+    }
+    assert_eq!(got.len(), 40, "shutdown dropped queued work");
+    assert!(got.iter().map(|&(_, s)| s).eq(0..40), "order lost in drain");
+    assert!(source.recv().is_none(), "recv must stay disconnected");
+    assert!(
+        source.recv_timeout(Duration::from_millis(1)).is_none(),
+        "recv_timeout must stay disconnected"
+    );
+}
+
 /// Counter saturation: `merge` on stats far beyond any realistic run
 /// keeps sums exact (u64 arithmetic, no silent wrap in practice) and
 /// maxes the high-water mark.
@@ -176,6 +300,7 @@ fn stats_merge_is_exact_at_large_magnitudes() {
         pushed: u64::MAX / 4,
         busy_rejections: u64::MAX / 8,
         blocked_pushes: u64::MAX / 8,
+        expired: u64::MAX / 8,
         max_depth: usize::MAX / 2,
     };
     total.merge(&big);
@@ -183,6 +308,7 @@ fn stats_merge_is_exact_at_large_magnitudes() {
     assert_eq!(total.pushed, (u64::MAX / 4) * 2);
     assert_eq!(total.busy_rejections, (u64::MAX / 8) * 2);
     assert_eq!(total.blocked_pushes, (u64::MAX / 8) * 2);
+    assert_eq!(total.expired, (u64::MAX / 8) * 2);
     assert_eq!(total.max_depth, usize::MAX / 2);
     assert!(total.saturated());
 }

@@ -179,15 +179,51 @@ impl ChaosSchedule {
                 Some(other) => return Err(format!("unknown action {other:?}")),
                 None => return Err("rule without action".to_string()),
             };
+            // Parameters that only one action consumes are rejected on any
+            // other — a schedule that silently ignores a knob reads as
+            // injecting a fault it is not.
+            if raw.delay_ms.is_some() && !matches!(action, FaultAction::Delay(_)) {
+                return Err("delay_ms is only valid on action = \"delay\"".to_string());
+            }
+            if raw.truncate_bytes.is_some() && !matches!(action, FaultAction::Truncate(_)) {
+                return Err("truncate_bytes is only valid on action = \"truncate\"".to_string());
+            }
+            let probability = raw.probability.unwrap_or(1.0);
+            if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+                return Err(format!(
+                    "probability {probability} outside [0, 1] (must be a finite fraction)"
+                ));
+            }
+            let after_frame = raw.after_frame.unwrap_or(0);
+            if let Some(until) = raw.until_frame {
+                if until <= after_frame {
+                    return Err(format!(
+                        "empty window: until_frame {until} must exceed after_frame {after_frame}"
+                    ));
+                }
+            }
             Ok(ChaosRule {
                 direction,
                 action,
-                probability: raw.probability.unwrap_or(1.0),
-                after_frame: raw.after_frame.unwrap_or(0),
+                probability,
+                after_frame,
                 until_frame: raw.until_frame,
             })
         }
+        /// Rejects the second assignment of one key within a scope: a
+        /// duplicated key is almost always an editing mistake, and "last
+        /// one wins" would silently run a different schedule than the one
+        /// the author reads.
+        fn set<T>(slot: &mut Option<T>, value: T, key: &str, lineno: usize) -> Result<(), String> {
+            if slot.is_some() {
+                return Err(format!("line {}: duplicate key {key:?}", lineno + 1));
+            }
+            *slot = Some(value);
+            Ok(())
+        }
         let mut current: Option<Raw> = None;
+        let mut seen_seed = false;
+        let mut seen_blackhole = false;
         for (lineno, line) in text.lines().enumerate() {
             let line = line.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -209,26 +245,49 @@ impl ChaosSchedule {
                     .map_err(|e| format!("line {}: {e}", lineno + 1))
             };
             match (&mut current, key) {
-                (None, "seed") => schedule.seed = parse_u64(value)?,
+                (None, "seed") => {
+                    if seen_seed {
+                        return Err(format!("line {}: duplicate key \"seed\"", lineno + 1));
+                    }
+                    seen_seed = true;
+                    schedule.seed = parse_u64(value)?;
+                }
                 (None, "blackhole_from_ms") => {
+                    if seen_blackhole {
+                        return Err(format!(
+                            "line {}: duplicate key \"blackhole_from_ms\"",
+                            lineno + 1
+                        ));
+                    }
+                    seen_blackhole = true;
                     schedule.blackhole_from = Some(Duration::from_millis(parse_u64(value)?));
                 }
                 (None, other) => return Err(format!("unknown top-level key {other:?}")),
-                (Some(raw), "direction") => raw.direction = Some(value.to_string()),
-                (Some(raw), "action") => raw.action = Some(value.to_string()),
+                (Some(raw), "direction") => {
+                    set(&mut raw.direction, value.to_string(), key, lineno)?;
+                }
+                (Some(raw), "action") => set(&mut raw.action, value.to_string(), key, lineno)?,
                 (Some(raw), "probability") => {
-                    raw.probability = Some(
-                        value
-                            .parse::<f64>()
-                            .map_err(|e| format!("line {}: {e}", lineno + 1))?,
-                    );
+                    let p = value
+                        .parse::<f64>()
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    set(&mut raw.probability, p, key, lineno)?;
                 }
-                (Some(raw), "delay_ms") => raw.delay_ms = Some(parse_u64(value)?),
+                (Some(raw), "delay_ms") => set(&mut raw.delay_ms, parse_u64(value)?, key, lineno)?,
                 (Some(raw), "truncate_bytes") => {
-                    raw.truncate_bytes = Some(parse_u64(value)? as usize);
+                    set(
+                        &mut raw.truncate_bytes,
+                        parse_u64(value)? as usize,
+                        key,
+                        lineno,
+                    )?;
                 }
-                (Some(raw), "after_frame") => raw.after_frame = Some(parse_u64(value)?),
-                (Some(raw), "until_frame") => raw.until_frame = Some(parse_u64(value)?),
+                (Some(raw), "after_frame") => {
+                    set(&mut raw.after_frame, parse_u64(value)?, key, lineno)?;
+                }
+                (Some(raw), "until_frame") => {
+                    set(&mut raw.until_frame, parse_u64(value)?, key, lineno)?;
+                }
                 (Some(_), other) => return Err(format!("unknown rule key {other:?}")),
             }
         }
@@ -552,8 +611,7 @@ fn relay_frame(
     };
     let index = counter.fetch_add(1, Ordering::Relaxed);
     let fault = shared.schedule.rules.iter().find_map(|rule| {
-        let in_window =
-            index >= rule.after_frame && rule.until_frame.is_none_or(|end| index < end);
+        let in_window = index >= rule.after_frame && rule.until_frame.is_none_or(|end| index < end);
         (rule.direction.covers(to_slave)
             && in_window
             && rng.gen_bool(rule.probability.clamp(0.0, 1.0)))

@@ -1,25 +1,35 @@
 //! The wire frame: length-prefixed, checksummed, timestamped.
 //!
-//! Every message on a `kvs-net` connection travels inside one frame:
+//! Every message on a `kvs-net` connection travels inside one frame
+//! (version 2, the current codec):
 //!
 //! ```text
 //! offset  size  field
 //!      0     2  magic        0x4B56 ("KV")
-//!      2     1  version      1
-//!      3     1  kind         1 = request, 2 = response, 3 = busy
+//!      2     1  version      2 (version 1 frames still decode, see below)
+//!      3     1  kind         1 = request, 2 = response, 3 = busy,
+//!                            4 = expired
 //!      4     1  flags        bit 0: payload encoded with the compact codec
 //!      5     8  id           request id (present even in busy frames, so
 //!                            the master can retry without decoding bodies)
 //!     13     4  len          payload length in bytes
 //!     17    32  stamps[4]    wall-clock nanoseconds since the UNIX epoch;
 //!                            meaning depends on `kind` (see below)
-//!     49     4  checksum     CRC-32 (IEEE) over bytes [0, 49) + payload
-//!     53   len  payload      codec-encoded body (empty for busy frames)
+//!     49     8  deadline     absolute wall-clock deadline in nanoseconds
+//!                            since the UNIX epoch; 0 = no deadline
+//!     57     4  checksum     CRC-32 (IEEE) over bytes [0, 57) + payload
+//!     61   len  payload      codec-encoded body (empty for busy and
+//!                            expired frames)
 //! ```
 //!
-//! Integers are big-endian. The CRC covers the header (with the checksum
-//! field itself zeroed) and the payload, so any single-bit corruption
-//! anywhere in the frame is detected.
+//! Version 1 frames are identical except the `deadline` field is absent
+//! (checksum at offset 49, payload at 53); the decoder accepts them and
+//! reports `deadline = 0`, so a v2 master interoperates with v1 peers.
+//! The encoder always emits version 2.
+//!
+//! Integers are big-endian. The CRC covers the header (minus the checksum
+//! field itself) and the payload, so any single-bit corruption anywhere
+//! in the frame is detected.
 //!
 //! Timestamp conventions:
 //! * request — `stamps[0]` query issue time, `stamps[1]` master send time,
@@ -30,7 +40,9 @@
 //! * response — `stamps[0]` echoes the request's send time, `stamps[1]`
 //!   worker dequeue (= in-db start), `stamps[2]` in-db end, `stamps[3]`
 //!   slave send time;
-//! * busy — `stamps[0]` echoes the request's send time.
+//! * busy — `stamps[0]` echoes the request's send time;
+//! * expired — `stamps[0]` echoes the request's send time, `stamps[1]`
+//!   the slave-side wall clock when the deadline was found to have passed.
 //!
 //! The carried wall-clock stamps are comparable across processes on the
 //! same host (the loopback deployments this crate targets); the master
@@ -41,10 +53,17 @@ use std::io::{self, Read, Write};
 
 /// Frame magic, "KV".
 pub const MAGIC: u16 = 0x4B56;
-/// Wire protocol version.
-pub const VERSION: u8 = 1;
-/// Fixed header size in bytes, checksum included.
-pub const HEADER_LEN: usize = 53;
+/// Wire protocol version emitted by the encoder.
+pub const VERSION: u8 = 2;
+/// The previous protocol version, still accepted by the decoder.
+pub const VERSION_V1: u8 = 1;
+/// Fixed header size in bytes for the current version, checksum included.
+pub const HEADER_LEN: usize = 61;
+/// Fixed header size of version 1 frames (no deadline field).
+pub const HEADER_LEN_V1: usize = 53;
+/// Bytes of header both versions share: everything through the `len`
+/// field, after which the version byte decides the full header size.
+const COMMON_PREFIX: usize = 17;
 /// Upper bound on payload size — malformed length prefixes fail fast
 /// instead of provoking giant allocations.
 pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
@@ -62,6 +81,10 @@ pub enum FrameKind {
     /// Slave → master refusal: the work queue was full. The master should
     /// back off and retry the id.
     Busy,
+    /// Slave → master refusal: the request's deadline had already passed
+    /// before the DB stage ran. The master should not retry the id — the
+    /// deadline will not un-expire.
+    Expired,
 }
 
 impl FrameKind {
@@ -70,6 +93,7 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Busy => 3,
+            FrameKind::Expired => 4,
         }
     }
 
@@ -78,6 +102,7 @@ impl FrameKind {
             1 => Some(FrameKind::Request),
             2 => Some(FrameKind::Response),
             3 => Some(FrameKind::Busy),
+            4 => Some(FrameKind::Expired),
             _ => None,
         }
     }
@@ -123,12 +148,25 @@ pub struct Frame {
     pub id: u64,
     /// Wall-clock nanosecond stamps (see the module docs for semantics).
     pub stamps: [u64; 4],
+    /// Absolute wall-clock deadline in nanoseconds since the UNIX epoch;
+    /// `0` means the request has no deadline. Decoded v1 frames always
+    /// report `0`.
+    pub deadline: u64,
     /// The codec-encoded body.
     pub payload: Bytes,
 }
 
+fn header_len_for(version: u8) -> Result<usize, FrameError> {
+    match version {
+        VERSION_V1 => Ok(HEADER_LEN_V1),
+        VERSION => Ok(HEADER_LEN),
+        v => Err(FrameError::BadVersion(v)),
+    }
+}
+
 impl Frame {
-    /// Serializes the frame, header + checksum + payload.
+    /// Serializes the frame (always version 2), header + checksum +
+    /// payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
         out.extend_from_slice(&MAGIC.to_be_bytes());
@@ -140,6 +178,7 @@ impl Frame {
         for s in self.stamps {
             out.extend_from_slice(&s.to_be_bytes());
         }
+        out.extend_from_slice(&self.deadline.to_be_bytes());
         let mut crc = Crc32::new();
         crc.update(&out);
         crc.update(&self.payload);
@@ -148,40 +187,38 @@ impl Frame {
         out
     }
 
-    /// Tries to decode one frame from the front of `buf`.
+    /// Tries to decode one frame (version 1 or 2) from the front of `buf`.
     ///
     /// Returns `Ok(Some((frame, consumed)))` on success,
     /// `Ok(None)` when `buf` is a (possibly empty) prefix of a frame and
     /// more bytes are needed, and `Err` when the bytes can never become a
     /// valid frame. Never panics, whatever the input.
     pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
-        if buf.len() < HEADER_LEN {
-            // Validate what we can see so garbage fails fast.
-            if buf.len() >= 2 && buf[..2] != MAGIC.to_be_bytes() {
-                return Err(FrameError::BadMagic);
-            }
-            if buf.len() >= 3 && buf[2] != VERSION {
-                return Err(FrameError::BadVersion(buf[2]));
-            }
-            if buf.len() >= 4 && FrameKind::from_byte(buf[3]).is_none() {
-                return Err(FrameError::BadKind(buf[3]));
-            }
-            return Ok(None);
-        }
-        if buf[..2] != MAGIC.to_be_bytes() {
+        // Validate what we can see so garbage fails fast even on a prefix.
+        if buf.len() >= 2 && buf[..2] != MAGIC.to_be_bytes() {
             return Err(FrameError::BadMagic);
         }
-        if buf[2] != VERSION {
-            return Err(FrameError::BadVersion(buf[2]));
+        if buf.len() >= 3 {
+            header_len_for(buf[2])?;
         }
-        let kind = FrameKind::from_byte(buf[3]).ok_or(FrameError::BadKind(buf[3]))?;
-        let flags = buf[4];
-        let id = u64::from_be_bytes(buf[5..13].try_into().expect("8 bytes"));
+        if buf.len() >= 4 && FrameKind::from_byte(buf[3]).is_none() {
+            return Err(FrameError::BadKind(buf[3]));
+        }
+        if buf.len() < COMMON_PREFIX {
+            return Ok(None);
+        }
         let len = u32::from_be_bytes(buf[13..17].try_into().expect("4 bytes"));
         if len > MAX_PAYLOAD {
             return Err(FrameError::TooLarge(len));
         }
-        let total = HEADER_LEN + len as usize;
+        let header_len = header_len_for(buf[2]).expect("version validated above");
+        if buf.len() < header_len {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_byte(buf[3]).expect("kind validated above");
+        let flags = buf[4];
+        let id = u64::from_be_bytes(buf[5..13].try_into().expect("8 bytes"));
+        let total = header_len + len as usize;
         if buf.len() < total {
             return Ok(None);
         }
@@ -189,10 +226,18 @@ impl Frame {
         for (i, s) in stamps.iter_mut().enumerate() {
             *s = u64::from_be_bytes(buf[17 + i * 8..25 + i * 8].try_into().expect("8 bytes"));
         }
-        let declared = u32::from_be_bytes(buf[49..53].try_into().expect("4 bytes"));
+        let (deadline, crc_off) = if buf[2] == VERSION_V1 {
+            (0, HEADER_LEN_V1 - 4)
+        } else {
+            (
+                u64::from_be_bytes(buf[49..57].try_into().expect("8 bytes")),
+                HEADER_LEN - 4,
+            )
+        };
+        let declared = u32::from_be_bytes(buf[crc_off..crc_off + 4].try_into().expect("4 bytes"));
         let mut crc = Crc32::new();
-        crc.update(&buf[..49]);
-        crc.update(&buf[HEADER_LEN..total]);
+        crc.update(&buf[..crc_off]);
+        crc.update(&buf[header_len..total]);
         if crc.finish() != declared {
             return Err(FrameError::BadChecksum);
         }
@@ -202,7 +247,8 @@ impl Frame {
                 flags,
                 id,
                 stamps,
-                payload: Bytes::copy_from_slice(&buf[HEADER_LEN..total]),
+                deadline,
+                payload: Bytes::copy_from_slice(&buf[header_len..total]),
             },
             total,
         )))
@@ -216,19 +262,19 @@ impl Frame {
     /// Reads exactly one frame from a stream, blocking as needed.
     /// Malformed bytes surface as `InvalidData`.
     pub fn read_from(r: &mut impl Read) -> io::Result<Frame> {
-        let mut header = [0u8; HEADER_LEN];
-        r.read_exact(&mut header)?;
-        // Header-only validation first, so we know how much payload to read.
-        match Frame::decode(&header) {
-            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
-            Ok(Some((frame, _))) => return Ok(frame), // empty payload
-            Ok(None) => {}
+        // Read the version-independent prefix first; the version byte
+        // decides how much more header follows.
+        let mut prefix = [0u8; COMMON_PREFIX];
+        r.read_exact(&mut prefix)?;
+        if let Err(e) = Frame::decode(&prefix) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, e));
         }
-        let len = u32::from_be_bytes(header[13..17].try_into().expect("4 bytes")) as usize;
-        let mut buf = Vec::with_capacity(HEADER_LEN + len);
-        buf.extend_from_slice(&header);
-        buf.resize(HEADER_LEN + len, 0);
-        r.read_exact(&mut buf[HEADER_LEN..])?;
+        let header_len = header_len_for(prefix[2]).expect("version validated above");
+        let len = u32::from_be_bytes(prefix[13..17].try_into().expect("4 bytes")) as usize;
+        let mut buf = Vec::with_capacity(header_len + len);
+        buf.extend_from_slice(&prefix);
+        buf.resize(header_len + len, 0);
+        r.read_exact(&mut buf[COMMON_PREFIX..])?;
         match Frame::decode(&buf) {
             Ok(Some((frame, consumed))) => {
                 debug_assert_eq!(consumed, buf.len());
@@ -279,8 +325,29 @@ mod tests {
             flags: FLAG_COMPACT,
             id: 0xDEAD_BEEF,
             stamps: [1, 2, 3, u64::MAX],
+            deadline: 0x0102_0304_0506_0708,
             payload: Bytes::copy_from_slice(b"hello frames"),
         }
+    }
+
+    /// Hand-assembles a version 1 frame (53-byte header, no deadline).
+    fn encode_v1(kind: u8, flags: u8, id: u64, stamps: [u64; 4], payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION_V1);
+        out.push(kind);
+        out.push(flags);
+        out.extend_from_slice(&id.to_be_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        for s in stamps {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        let mut crc = Crc32::new();
+        crc.update(&out);
+        crc.update(payload);
+        out.extend_from_slice(&crc.finish().to_be_bytes());
+        out.extend_from_slice(payload);
+        out
     }
 
     #[test]
@@ -301,6 +368,48 @@ mod tests {
     }
 
     #[test]
+    fn v1_frames_still_decode() {
+        let wire = encode_v1(2, FLAG_COMPACT, 0xABCD, [10, 20, 30, 40], b"legacy");
+        let (decoded, consumed) = Frame::decode(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(decoded.kind, FrameKind::Response);
+        assert_eq!(decoded.flags, FLAG_COMPACT);
+        assert_eq!(decoded.id, 0xABCD);
+        assert_eq!(decoded.stamps, [10, 20, 30, 40]);
+        assert_eq!(decoded.deadline, 0, "v1 frames carry no deadline");
+        assert_eq!(&decoded.payload[..], b"legacy");
+        // And through the streaming path, mixed with a v2 frame behind it.
+        let mut stream = wire.clone();
+        stream.extend_from_slice(&sample().encode());
+        let mut cursor = &stream[..];
+        let first = Frame::read_from(&mut cursor).unwrap();
+        assert_eq!(first.id, 0xABCD);
+        let second = Frame::read_from(&mut cursor).unwrap();
+        assert_eq!(second, sample());
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn v1_prefixes_want_more_bytes() {
+        let wire = encode_v1(1, 0, 9, [1, 2, 3, 4], b"p");
+        for cut in 0..wire.len() {
+            assert_eq!(
+                Frame::decode(&wire[..cut]),
+                Ok(None),
+                "v1 prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = sample().encode();
+        bytes[2] = 3;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadVersion(3)));
+        assert_eq!(Frame::decode(&bytes[..3]), Err(FrameError::BadVersion(3)));
+    }
+
+    #[test]
     fn decode_from_concatenated_stream() {
         let a = sample();
         let b = Frame {
@@ -308,6 +417,7 @@ mod tests {
             flags: 0,
             id: 7,
             stamps: [9, 0, 0, 0],
+            deadline: 0,
             payload: Bytes::new(),
         };
         let mut stream = a.encode();
@@ -348,11 +458,32 @@ mod tests {
     }
 
     #[test]
+    fn expired_kind_roundtrips() {
+        let f = Frame {
+            kind: FrameKind::Expired,
+            flags: 0,
+            id: 11,
+            stamps: [100, 200, 0, 0],
+            deadline: 150,
+            payload: Bytes::new(),
+        };
+        let wire = f.encode();
+        assert_eq!(wire.len(), HEADER_LEN);
+        let (decoded, _) = Frame::decode(&wire).unwrap().unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
     fn oversized_length_rejected() {
         let mut bytes = sample().encode();
         bytes[13..17].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
         assert_eq!(
             Frame::decode(&bytes),
+            Err(FrameError::TooLarge(MAX_PAYLOAD + 1))
+        );
+        // Fails fast even before the full header has arrived.
+        assert_eq!(
+            Frame::decode(&bytes[..COMMON_PREFIX]),
             Err(FrameError::TooLarge(MAX_PAYLOAD + 1))
         );
     }
@@ -374,6 +505,7 @@ mod tests {
             flags: 0,
             id: 42,
             stamps: [5, 0, 0, 0],
+            deadline: 0,
             payload: Bytes::new(),
         };
         let wire = busy.encode();

@@ -15,8 +15,13 @@
 //!   ([`kvs_cluster::queue`]) that answers `Busy` when saturated and a
 //!   worker pool of the paper's per-node parallelism;
 //! * [`master`] — [`NetMaster`]: a connection pool over all slaves with
-//!   per-request deadlines and bounded retries, producing the same
+//!   per-request deadlines, bounded retries, hedged replica reads and
+//!   phi-accrual failure detection, producing the same
 //!   [`kvs_cluster::RunResult`] as the other two executors;
+//! * [`phi`] — [`PhiAccrual`]: the continuous suspicion level the master
+//!   orders replicas by (Hayashibara et al., SRDS 2004);
+//! * [`latency`] — [`LatencyTracker`]: online per-node latency histogram
+//!   + EWMA, the source of the hedge-delay quantile;
 //! * [`local`] — [`spawn_local_cluster`]: N servers on ephemeral loopback
 //!   ports with deterministic shutdown, for tests and benchmarks;
 //! * [`calibrate`] — [`calibrate_t_msg`]: measures the per-message master
@@ -32,8 +37,10 @@ pub mod calibrate;
 pub mod chaos;
 pub mod clock;
 pub mod frame;
+pub mod latency;
 pub mod local;
 pub mod master;
+pub mod phi;
 pub mod server;
 
 pub use calibrate::{calibrate_t_msg, TMsgCalibration};
@@ -41,6 +48,10 @@ pub use chaos::{
     wrap_cluster, ChaosDirection, ChaosProxy, ChaosRule, ChaosSchedule, ChaosStats, FaultAction,
 };
 pub use frame::{Frame, FrameError, FrameKind};
+pub use latency::LatencyTracker;
 pub use local::{spawn_local_cluster, LocalCluster};
-pub use master::{NetConfig, NetMaster, NetRunReport, Route};
+pub use master::{
+    HedgeConfig, MissedPartition, NetConfig, NetMaster, NetRunReport, QueryMode, Route,
+};
+pub use phi::PhiAccrual;
 pub use server::{NetServerConfig, SlaveHandle, SlaveServer};

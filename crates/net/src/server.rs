@@ -19,7 +19,7 @@
 
 use crate::clock::wall_ns;
 use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
-use kvs_cluster::queue::{work_queue, QueueStats, WorkQueue};
+use kvs_cluster::queue::{work_queue, QueueStats, TimedPush, WorkQueue, NO_DEADLINE};
 use kvs_cluster::{Codec, QueryResponse};
 use kvs_store::Table;
 use parking_lot::Mutex;
@@ -169,30 +169,53 @@ fn read_connection(stream: TcpStream, queue: WorkQueue<Job>, stop: Arc<AtomicBoo
     }
 }
 
-/// Routes one decoded frame: requests go to the queue, a full queue gets an
-/// immediate `Busy` reply, anything else is a protocol violation, dropped.
+/// Routes one decoded frame: requests go to the deadline-aware queue.
+/// A request whose deadline already passed is answered `Expired` without
+/// ever occupying a queue slot, a full queue of live work gets an
+/// immediate `Busy` reply, and expired entries evicted to make room are
+/// each answered `Expired`. Anything that is not a request is a protocol
+/// violation, dropped.
 fn dispatch(frame: Frame, queue: &WorkQueue<Job>, conn: &Arc<Mutex<TcpStream>>) {
     if frame.kind != FrameKind::Request {
         return;
     }
-    let sent_stamp = frame.stamps[1];
-    let id = frame.id;
-    let flags = frame.flags;
-    if let Err(_job) = queue.try_push(Job {
+    let now = wall_ns();
+    // Deadline 0 on the wire means "none"; the queue's never-expires
+    // sentinel keeps such entries immortal.
+    let deadline = if frame.deadline == 0 {
+        NO_DEADLINE
+    } else {
+        frame.deadline
+    };
+    let job = Job {
         frame,
         conn: conn.clone(),
-    }) {
+    };
+    match queue.try_push_timed(job, deadline, now) {
+        TimedPush::Accepted { evicted } => {
+            for dead in evicted {
+                reply_refusal(&dead, FrameKind::Expired);
+            }
+        }
+        TimedPush::AlreadyExpired(job) => reply_refusal(&job, FrameKind::Expired),
         // Queue full: tell the master now rather than letting the request
         // age invisibly.
-        let busy = Frame {
-            kind: FrameKind::Busy,
-            flags,
-            id,
-            stamps: [sent_stamp, wall_ns(), 0, 0],
-            payload: bytes::Bytes::new(),
-        };
-        let _ = busy.write_to(&mut *conn.lock());
+        TimedPush::Full(job) => reply_refusal(&job, FrameKind::Busy),
+        TimedPush::Disconnected(_) => {} // shutting down
     }
+}
+
+/// Answers a request with a payload-less refusal (`Busy` or `Expired`).
+fn reply_refusal(job: &Job, kind: FrameKind) {
+    let refusal = Frame {
+        kind,
+        flags: job.frame.flags,
+        id: job.frame.id,
+        stamps: [job.frame.stamps[1], wall_ns(), 0, 0],
+        deadline: job.frame.deadline,
+        payload: bytes::Bytes::new(),
+    };
+    let _ = refusal.write_to(&mut *job.conn.lock());
 }
 
 fn would_block(e: &io::Error) -> bool {
@@ -203,8 +226,15 @@ fn would_block(e: &io::Error) -> bool {
 }
 
 /// Worker body: decode → store read → encode → reply with stage stamps.
+/// Work whose deadline has passed while queued is shed *before* the DB
+/// stage — the master gets an `Expired` answer instead of a result it can
+/// no longer use.
 fn serve(table: &Mutex<Table>, job: Job) {
     let dequeued = wall_ns();
+    if job.frame.deadline != 0 && dequeued >= job.frame.deadline {
+        reply_refusal(&job, FrameKind::Expired);
+        return;
+    }
     let codec = if job.frame.flags & FLAG_COMPACT != 0 {
         Codec::compact()
     } else {
@@ -221,6 +251,7 @@ fn serve(table: &Mutex<Table>, job: Job) {
         flags: job.frame.flags,
         id: job.frame.id,
         stamps: [job.frame.stamps[1], dequeued, db_end, wall_ns()],
+        deadline: job.frame.deadline,
         payload: codec.encode_response(&response),
     };
     // The master may have hung up; nothing useful to do about it here.

@@ -50,6 +50,7 @@ fn busy_flow_control_never_exhausts_the_failure_budget() {
                     flags: frame.flags,
                     id: frame.id,
                     stamps: [frame.stamps[1], wall_ns(), 0, 0],
+                    deadline: frame.deadline,
                     payload: bytes::Bytes::new(),
                 };
                 busy.write_to(&mut conn).expect("busy reply");
@@ -65,6 +66,7 @@ fn busy_flow_control_never_exhausts_the_failure_budget() {
                 flags: frame.flags,
                 id: frame.id,
                 stamps: [frame.stamps[1], now, now, wall_ns()],
+                deadline: frame.deadline,
                 payload: codec.encode_response(&response),
             };
             reply.write_to(&mut conn).expect("response reply");

@@ -313,6 +313,62 @@ truncate_bytes = 12
     assert!(quiet.eventually_quiet());
 }
 
+/// Every malformed schedule is refused with a descriptive error, not
+/// silently reinterpreted — a chaos run that injects different faults
+/// than its schedule file reads is worse than no chaos run at all.
+#[test]
+fn schedule_parser_rejects_malformed_input() {
+    let err = |text: &str| ChaosSchedule::parse(text).expect_err(text);
+
+    // Probability outside [0, 1] or non-finite.
+    assert!(err("[[rule]]\naction = \"drop\"\nprobability = 1.5").contains("outside [0, 1]"));
+    assert!(err("[[rule]]\naction = \"drop\"\nprobability = -0.1").contains("outside [0, 1]"));
+    assert!(err("[[rule]]\naction = \"drop\"\nprobability = NaN").contains("outside [0, 1]"));
+    assert!(err("[[rule]]\naction = \"drop\"\nprobability = inf").contains("outside [0, 1]"));
+
+    // Parameters on the wrong action.
+    assert!(err("[[rule]]\naction = \"drop\"\ndelay_ms = 5").contains("delay_ms"));
+    assert!(
+        err("[[rule]]\naction = \"delay\"\ndelay_ms = 5\ntruncate_bytes = 3")
+            .contains("truncate_bytes")
+    );
+
+    // Duplicate keys, top-level and per-rule.
+    assert!(err("seed = 1\nseed = 2").contains("duplicate"));
+    assert!(err("blackhole_from_ms = 1\nblackhole_from_ms = 2").contains("duplicate"));
+    assert!(err("[[rule]]\naction = \"drop\"\naction = \"drop\"").contains("duplicate"));
+    assert!(err("[[rule]]\naction = \"delay\"\ndelay_ms = 1\ndelay_ms = 2").contains("duplicate"));
+    assert!(
+        err("[[rule]]\naction = \"drop\"\nprobability = 0.5\nprobability = 0.5")
+            .contains("duplicate")
+    );
+
+    // Empty fault windows.
+    assert!(
+        err("[[rule]]\naction = \"drop\"\nafter_frame = 10\nuntil_frame = 10")
+            .contains("empty window")
+    );
+    assert!(
+        err("[[rule]]\naction = \"drop\"\nafter_frame = 10\nuntil_frame = 3")
+            .contains("empty window")
+    );
+
+    // Other malformed shapes keep failing.
+    assert!(err("[[rule]]\ndirection = \"sideways\"\naction = \"drop\"").contains("direction"));
+    assert!(err("not a key value line").contains("key = value"));
+    assert!(err("[[rule]]\nwarp_factor = 9").contains("unknown rule key"));
+
+    // The shipped schedule and boundary probabilities still parse.
+    let mild = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../bench/schedules/mild.toml"
+    ))
+    .expect("mild.toml readable");
+    ChaosSchedule::parse(&mild).expect("shipped schedule parses");
+    ChaosSchedule::parse("[[rule]]\naction = \"drop\"\nprobability = 0.0").expect("p=0 is valid");
+    ChaosSchedule::parse("[[rule]]\naction = \"drop\"\nprobability = 1.0").expect("p=1 is valid");
+}
+
 /// The ISSUE's acceptance scenario: 1 of 3 replicas permanently dead
 /// (blackholed from the start), fixed seed. The query must complete with
 /// zero wrong or missing values and `failovers > 0`, and the measured

@@ -1,0 +1,151 @@
+//! Deadline propagation end to end: the v2 frame carries an absolute
+//! wall-clock deadline, slaves shed expired work before the DB stage, and
+//! the master either fails fast (strict) or completes with partial
+//! coverage (degraded) when a query budget cannot be met.
+
+use kvs_cluster::data::uniform_partitions;
+use kvs_cluster::{ClusterData, Codec, QueryRequest};
+use kvs_net::clock::wall_ns;
+use kvs_net::frame::FLAG_COMPACT;
+use kvs_net::{
+    spawn_local_cluster, Frame, FrameKind, NetConfig, NetMaster, NetServerConfig, QueryMode,
+};
+use kvs_store::TableOptions;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn data(nodes: u32, rf: usize, partitions: u64, cells: u64) -> ClusterData {
+    ClusterData::load(
+        nodes,
+        rf,
+        TableOptions::default(),
+        uniform_partitions(partitions, cells, 4),
+    )
+}
+
+/// A hand-built request frame straight onto the slave's socket, bypassing
+/// [`NetMaster`]: the slave itself must enforce the wire deadline. A
+/// deadline already in the past is answered `Expired` without touching
+/// the store; a generous one is served normally.
+#[test]
+fn slave_sheds_expired_requests_and_serves_live_ones() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(1, 1, 4, 8), NetServerConfig::default()).expect("cluster boots");
+    let addr = cluster.addrs()[0];
+    let mut sock = TcpStream::connect(addr).expect("slave accepts");
+    let codec = Codec::compact();
+
+    let request = |id: u64, deadline: u64| Frame {
+        kind: FrameKind::Request,
+        flags: FLAG_COMPACT,
+        id,
+        stamps: [wall_ns(), wall_ns(), id, 0],
+        deadline,
+        payload: codec.encode_request(&QueryRequest {
+            request_id: id,
+            partition: routes[0].key.clone(),
+        }),
+    };
+
+    // Born dead: deadline one second in the past.
+    let expired = request(7, wall_ns() - 1_000_000_000);
+    expired.write_to(&mut sock).expect("request written");
+    let reply = Frame::read_from(&mut sock).expect("slave answers");
+    assert_eq!(reply.kind, FrameKind::Expired, "expired work must be shed");
+    assert_eq!(reply.id, 7, "refusal names the shed request");
+    assert!(reply.payload.is_empty(), "no result for shed work");
+
+    // Plenty of budget: served normally, deadline echoed back.
+    let deadline = wall_ns() + 5_000_000_000;
+    let live = request(8, deadline);
+    live.write_to(&mut sock).expect("request written");
+    let reply = Frame::read_from(&mut sock).expect("slave answers");
+    assert_eq!(reply.kind, FrameKind::Response, "live work is served");
+    assert_eq!(reply.id, 8);
+    assert_eq!(reply.deadline, deadline, "deadline echoed for audit");
+    let response = codec
+        .decode_response(reply.payload)
+        .expect("well-formed response");
+    assert_eq!(response.cells, 8, "all cells of the partition read");
+
+    // No deadline on the wire (0) means immortal — still served.
+    let immortal = request(9, 0);
+    immortal.write_to(&mut sock).expect("request written");
+    let reply = Frame::read_from(&mut sock).expect("slave answers");
+    assert_eq!(reply.kind, FrameKind::Response);
+    drop(sock);
+    cluster.shutdown();
+}
+
+/// An impossible query budget in strict mode fails the whole query with
+/// `TimedOut` — never a wrong or silently partial answer.
+#[test]
+fn impossible_deadline_fails_strict_queries() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(2, 1, 16, 8), NetServerConfig::default()).expect("cluster boots");
+    let cfg = NetConfig {
+        query_deadline: Some(Duration::from_nanos(1)),
+        ..NetConfig::default()
+    };
+    let mut master = NetMaster::connect(&cluster.addrs(), cfg).expect("master connects");
+    let err = master
+        .run_query(&routes)
+        .expect_err("a 1 ns budget cannot be met");
+    assert_eq!(err.kind(), io::ErrorKind::TimedOut, "unexpected: {err}");
+    master.shutdown();
+    cluster.shutdown();
+}
+
+/// The same impossible budget in degraded mode completes: zero coverage,
+/// every partition on the miss list, no fabricated values.
+#[test]
+fn impossible_deadline_degrades_to_empty_coverage() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(2, 1, 16, 8), NetServerConfig::default()).expect("cluster boots");
+    let cfg = NetConfig {
+        query_deadline: Some(Duration::from_nanos(1)),
+        mode: QueryMode::Degraded,
+        ..NetConfig::default()
+    };
+    let mut master = NetMaster::connect(&cluster.addrs(), cfg).expect("master connects");
+    let report = master.run_query(&routes).expect("degraded mode completes");
+    let coverage = report.result.coverage;
+    assert_eq!(coverage.answered, 0, "nothing can meet a 1 ns budget");
+    assert_eq!(coverage.total, 16);
+    assert_eq!(
+        report.result.missed,
+        (0..16).collect::<Vec<u64>>(),
+        "misses sorted, exact"
+    );
+    assert_eq!(report.missed.len(), 16, "per-partition miss detail kept");
+    for (m, route) in report.missed.iter().zip(&routes) {
+        assert_eq!(m.key, route.key, "miss names the lost partition");
+        assert_eq!(m.replicas, route.replicas);
+    }
+    assert_eq!(report.result.total_cells, 0, "no values fabricated");
+    assert!(report.result.counts_by_kind.is_empty());
+    master.shutdown();
+    cluster.shutdown();
+}
+
+/// A generous budget changes nothing: full coverage, all values, and the
+/// deadline rides the wire without triggering any shedding.
+#[test]
+fn generous_deadline_leaves_queries_untouched() {
+    let (cluster, routes) =
+        spawn_local_cluster(data(2, 1, 16, 8), NetServerConfig::default()).expect("cluster boots");
+    let cfg = NetConfig {
+        query_deadline: Some(Duration::from_secs(30)),
+        mode: QueryMode::Degraded,
+        ..NetConfig::default()
+    };
+    let mut master = NetMaster::connect(&cluster.addrs(), cfg).expect("master connects");
+    let report = master.run_query(&routes).expect("query succeeds");
+    assert!(report.result.coverage.is_complete(), "nothing missed");
+    assert!(report.result.missed.is_empty());
+    assert_eq!(report.result.total_cells, 16 * 8);
+    assert_eq!(report.timeout_retries, 0);
+    master.shutdown();
+    cluster.shutdown();
+}

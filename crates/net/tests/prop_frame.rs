@@ -8,16 +8,18 @@ use kvs_net::frame::{Frame, FrameKind};
 use proptest::prelude::*;
 
 fn build(kind_sel: u8, flags: u8, id: u64, stamps: (u64, u64, u64, u64), payload: &[u8]) -> Frame {
-    let kind = match kind_sel % 3 {
+    let kind = match kind_sel % 4 {
         0 => FrameKind::Request,
         1 => FrameKind::Response,
-        _ => FrameKind::Busy,
+        2 => FrameKind::Busy,
+        _ => FrameKind::Expired,
     };
     Frame {
         kind,
         flags,
         id,
         stamps: [stamps.0, stamps.1, stamps.2, stamps.3],
+        deadline: id ^ stamps.0, // arbitrary but deterministic
         payload: Bytes::copy_from_slice(payload),
     }
 }
