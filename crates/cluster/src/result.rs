@@ -93,7 +93,7 @@ impl RunResult {
         if per_node.is_empty() {
             return 0.0;
         }
-        let max = *per_node.values().max().expect("non-empty") as f64;
+        let max = per_node.values().copied().max().unwrap_or(0) as f64;
         let mean = per_node.values().sum::<u64>() as f64 / per_node.len() as f64;
         if mean == 0.0 {
             0.0

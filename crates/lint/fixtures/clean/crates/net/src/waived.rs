@@ -1,0 +1,5 @@
+//! Fixture: a violation excused by a matching waiver (waiver-used path).
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

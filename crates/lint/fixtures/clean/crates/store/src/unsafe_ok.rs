@@ -1,0 +1,7 @@
+//! Fixture: an `unsafe` block with its `SAFETY:` comment (KVS-L005 pass).
+
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

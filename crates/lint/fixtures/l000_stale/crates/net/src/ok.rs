@@ -1,0 +1,5 @@
+//! Fixture: clean file; the tree's waiver matches nothing and is stale.
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a silently dropped `Result`.
+
+use std::io::Write;
+
+pub fn send(mut w: impl Write) {
+    let _ = w.write_all(b"ping");
+}

@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no `SAFETY:` comment.
+
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    unsafe { *v.get_unchecked(0) }
+}

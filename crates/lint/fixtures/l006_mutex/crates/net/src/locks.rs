@@ -1,0 +1,7 @@
+//! Fixture: std::sync::Mutex where parking_lot is the standard.
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    pub entries: Mutex<Vec<u32>>,
+}

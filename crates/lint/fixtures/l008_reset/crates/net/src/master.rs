@@ -1,0 +1,22 @@
+//! Fixture: the send sequence is reset — the monotone contract breaks.
+
+pub struct Master {
+    /// Monotone per-master send sequence.
+    send_seq: u64,
+}
+
+impl Master {
+    pub fn new() -> Master {
+        Master { send_seq: 0 }
+    }
+
+    pub fn next_seq(&mut self) -> u64 {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        seq
+    }
+
+    pub fn reconnect(&mut self) {
+        self.send_seq = 0;
+    }
+}

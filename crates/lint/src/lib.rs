@@ -1,0 +1,162 @@
+//! `kvs-lint`: the workspace invariant checker.
+//!
+//! The paper's methodology stands on two legs this linter guards
+//! mechanically: *measured* timings must come only from the sanctioned
+//! clock portals, and the *simulated* components must be deterministic
+//! enough to cross-validate against live runs. On top of that it pins the
+//! wire-protocol documentation to the constants in `frame.rs` and enforces
+//! the error- and lock-discipline conventions of the `net`/`cluster` hot
+//! paths. See [`rules`] for the rule catalogue and [`waiver`] for the
+//! escape hatch.
+//!
+//! Deliberately dependency-free (std only): this crate is the tool that
+//! guards the shims, so it must build even when every shim is broken.
+//!
+//! Run it:
+//!
+//! ```console
+//! $ cargo run -p kvs-lint -- check            # lint the workspace
+//! $ cargo run -p kvs-lint -- rules            # list rule IDs
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+pub mod waiver;
+
+pub use rules::{Diagnostic, RULES};
+
+use scan::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the waiver file, resolved relative to the workspace root.
+pub const WAIVER_FILE: &str = "lint.waivers.toml";
+
+/// Result of linting one workspace root.
+pub struct Outcome {
+    /// Violations that remain after waivers — non-empty means fail.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Violations suppressed by a waiver, with the justification.
+    pub waived: Vec<(Diagnostic, String)>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directory names never descended into. `target` is build output;
+/// `fixtures` holds the linter's own deliberately-violating test trees,
+/// which must not fail the real workspace.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", ".git"];
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints the workspace rooted at `root` (the directory holding `crates/`,
+/// `shims/`, `docs/` and optionally [`WAIVER_FILE`]).
+pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
+    let mut paths = Vec::new();
+    for top in ["crates", "shims"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_rs(&dir, &mut paths)?;
+        }
+    }
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = fs::read_to_string(path)?;
+        files.push(SourceFile::scan(&rel_of(root, path), &text));
+    }
+    let files_scanned = files.len();
+
+    let net_md_path = root.join("docs").join("NET.md");
+    let net_md = if net_md_path.is_file() {
+        let text = fs::read_to_string(&net_md_path)?;
+        Some((
+            "docs/NET.md".to_string(),
+            text.lines().map(str::to_string).collect(),
+        ))
+    } else {
+        None
+    };
+
+    let ws = rules::Workspace { files, net_md };
+    let raw = rules::run_all(&ws);
+
+    let waiver_path = root.join(WAIVER_FILE);
+    let waivers = if waiver_path.is_file() {
+        match waiver::parse(&fs::read_to_string(&waiver_path)?) {
+            Ok(ws) => ws,
+            Err((line, msg)) => {
+                let mut diagnostics = raw;
+                diagnostics.push(Diagnostic {
+                    rule: "KVS-L000",
+                    path: WAIVER_FILE.to_string(),
+                    line,
+                    message: format!("waiver file rejected: {msg}"),
+                });
+                diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+                return Ok(Outcome {
+                    diagnostics,
+                    waived: Vec::new(),
+                    files_scanned,
+                });
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let raw_line = |path: &str, line: usize| -> Option<String> {
+        if let Some(f) = ws.files.iter().find(|f| f.rel == path) {
+            return f.lines.get(line.checked_sub(1)?).map(|l| l.raw.clone());
+        }
+        if let Some((rel, lines)) = &ws.net_md {
+            if rel == path {
+                return lines.get(line.checked_sub(1)?).cloned();
+            }
+        }
+        None
+    };
+    let (mut diagnostics, waived) = waiver::apply(raw, &waivers, WAIVER_FILE, raw_line);
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(Outcome {
+        diagnostics,
+        waived,
+        files_scanned,
+    })
+}

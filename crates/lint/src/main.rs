@@ -1,0 +1,76 @@
+//! CLI entry point: `cargo run -p kvs-lint -- check [--root <path>]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: kvs-lint <check|rules> [--root <path>]");
+    eprintln!("  check   lint the workspace; exit 0 when clean, 1 on violations");
+    eprintln!("  rules   list rule IDs and what they enforce");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(a),
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match cmd {
+        Some("rules") => {
+            for (id, summary) in kvs_lint::RULES {
+                println!("{id}  {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let root = root.unwrap_or_else(|| {
+                // When run via `cargo run -p kvs-lint`, the manifest dir is
+                // crates/lint — the workspace root is two levels up.
+                let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+                manifest
+                    .parent()
+                    .and_then(|p| p.parent())
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."))
+            });
+            let outcome = match kvs_lint::check_workspace(&root) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("kvs-lint: cannot scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            for d in &outcome.diagnostics {
+                println!("{d}");
+            }
+            if outcome.is_clean() {
+                println!(
+                    "kvs-lint: clean — {} files scanned, {} waived finding(s)",
+                    outcome.files_scanned,
+                    outcome.waived.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "kvs-lint: {} violation(s) across {} files ({} waived); see \
+                     CONTRIBUTING.md for rule docs and the waiver format",
+                    outcome.diagnostics.len(),
+                    outcome.files_scanned,
+                    outcome.waived.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,340 @@
+//! Line-oriented Rust source scanner.
+//!
+//! Not a real parser: a small state machine that is just smart enough to
+//! tell *code* apart from *comments* and *string/char literal contents*,
+//! and to mark the lines living inside a `#[cfg(test)]` module. Every rule
+//! in [`crate::rules`] works on this view, so a forbidden token inside a
+//! doc comment or a string literal never fires, and test-only code can be
+//! scoped out where a rule allows it.
+//!
+//! Known, accepted approximations (documented here so nobody re-discovers
+//! them the hard way):
+//!
+//! * `#[cfg(test)]` detection assumes the attribute directly precedes a
+//!   `mod` item whose body is brace-delimited — the workspace convention.
+//!   `#[cfg(test)]` on individual functions outside such a module is
+//!   treated as regular code.
+//! * Raw strings are recognized up to `r###"`-level hashing; deeper
+//!   nesting (which the workspace does not use) would confuse the
+//!   scanner.
+//! * Statement boundaries are approximated by lines; `rustfmt --check`
+//!   (gated by the same CI job) keeps the layouts the heuristics expect.
+
+/// One scanned source line, in three views.
+#[derive(Debug)]
+pub struct LineInfo {
+    /// The original line, verbatim.
+    pub raw: String,
+    /// The line with comments removed and string/char literal *contents*
+    /// blanked out (delimiters kept), so token searches cannot match
+    /// inside prose.
+    pub code: String,
+    /// The comment text of the line (contents of `//…` and the in-line
+    /// parts of `/* … */`), for comment-contract rules.
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)] mod … { … }` block.
+    pub in_test: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<LineInfo>,
+}
+
+impl SourceFile {
+    /// Scans `text` as the contents of `rel`.
+    pub fn scan(rel: &str, text: &str) -> SourceFile {
+        let (code_lines, comment_lines) = split_code_and_comments(text);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let test_flags = mark_test_regions(&code_lines);
+        let lines = raw_lines
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| LineInfo {
+                raw: (*raw).to_string(),
+                code: code_lines.get(i).cloned().unwrap_or_default(),
+                comment: comment_lines.get(i).cloned().unwrap_or_default(),
+                in_test: test_flags.get(i).copied().unwrap_or(false),
+            })
+            .collect();
+        SourceFile {
+            rel: rel.to_string(),
+            lines,
+        }
+    }
+
+    /// 1-based enumeration over the lines.
+    pub fn numbered(&self) -> impl Iterator<Item = (usize, &LineInfo)> {
+        self.lines.iter().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+/// Splits source text into per-line code and comment views.
+fn split_code_and_comments(text: &str) -> (Vec<String>, Vec<String>) {
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut state = State::Code;
+    for line in text.lines() {
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        comment.extend(&chars[i + 2..]);
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                    }
+                    'r' if is_raw_string_start(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        code.push('r');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        i += 1 + hashes as usize + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    '\'' if is_char_literal_start(&chars, i) => {
+                        state = State::Char;
+                        code.push('\'');
+                    }
+                    _ => code.push(c),
+                },
+                State::LineComment => unreachable!("line comments consume the rest of the line"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    '"' => {
+                        state = State::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                State::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    '\'' => {
+                        state = State::Code;
+                        code.push('\'');
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+        // Line comments and strings end with the line; block comments and
+        // raw strings persist.
+        match state {
+            State::LineComment | State::Str | State::Char => state = State::Code,
+            _ => {}
+        }
+        code_lines.push(code);
+        comment_lines.push(comment);
+    }
+    (code_lines, comment_lines)
+}
+
+/// `r"`, `r#"`, `br"` … — is position `i` (pointing at `r`) the start of a
+/// raw string literal? Requires the previous character to be a
+/// non-identifier character (so `for` or `var` never match) or `b`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if (prev.is_alphanumeric() || prev == '_') && prev != 'b' {
+            return false;
+        }
+    }
+    let hashes = count_hashes(chars, i + 1);
+    chars.get(i + 1 + hashes as usize) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], from: usize) -> u8 {
+    let mut n = 0u8;
+    while chars.get(from + n as usize) == Some(&'#') && n < 3 {
+        n += 1;
+    }
+    n
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Is the `'` at `i` a char literal (as opposed to a lifetime)? A char
+/// literal is `'x'` or `'\…'`; a lifetime is `'ident` with no closing
+/// quote nearby.
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` regions.
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth *at entry* of the active test module, if any.
+    let mut test_depth: Option<i64> = None;
+    let mut pending_attr = false;
+    for (ix, code) in code_lines.iter().enumerate() {
+        let trimmed = code.trim();
+        if test_depth.is_none() && trimmed.starts_with("#[cfg(test)]") {
+            pending_attr = true;
+        } else if pending_attr
+            && test_depth.is_none()
+            && (trimmed.starts_with("mod ") || trimmed.starts_with("pub mod "))
+        {
+            test_depth = Some(depth);
+            pending_attr = false;
+        } else if pending_attr && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            // The attribute guarded something other than a module.
+            pending_attr = false;
+        }
+        if test_depth.is_some() {
+            flags[ix] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(td) = test_depth {
+                        if depth <= td {
+                            test_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"SystemTime::now()\"; // SystemTime::now()\nlet b = 1;\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(!f.lines[0].code.contains("SystemTime"));
+        assert!(f.lines[0].comment.contains("SystemTime::now()"));
+        assert!(f.lines[1].code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/* one\n   SystemTime::now()\n*/ let x = 2;\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(!f.lines[1].code.contains("SystemTime"));
+        assert!(f.lines[1].comment.contains("SystemTime::now()"));
+        assert!(f.lines[2].code.contains("let x = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"unsafe { }\"#;\nunsafe {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // 'q\nlet c = 'x';\nlet n = '\\n';\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[1].code.contains('x'));
+        assert!(f.lines[2].code.contains("let n ="));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_a_function_does_not_open_a_region() {
+        let src = "#[cfg(test)]\nfn helper() {}\nfn live() {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert!(f.lines.iter().all(|l| !l.in_test));
+    }
+}

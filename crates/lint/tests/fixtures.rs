@@ -1,0 +1,71 @@
+//! Fixture-tree suite: one passing workspace plus one violating tree per
+//! rule. Each fixture is a miniature workspace root under `fixtures/`
+//! (excluded from the real scan by the walker's `fixtures` skip).
+
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let outcome = kvs_lint::check_workspace(&fixture("clean")).expect("scan clean fixture");
+    assert!(
+        outcome.is_clean(),
+        "clean fixture should pass, got: {:#?}",
+        outcome.diagnostics
+    );
+    // The tree contains one waived violation — proves the waiver matched
+    // (a non-matching waiver would surface as a KVS-L000 failure above).
+    assert_eq!(outcome.waived.len(), 1);
+    assert_eq!(outcome.waived[0].0.rule, "KVS-L004");
+}
+
+#[test]
+fn each_violating_fixture_fails_with_its_rule() {
+    let cases = [
+        ("l000_stale", "KVS-L000", "lint.waivers.toml"),
+        ("l001_systemtime", "KVS-L001", "crates/cluster/src/sim.rs"),
+        ("l002_drift", "KVS-L002", "docs/NET.md"),
+        ("l003_drop", "KVS-L003", "crates/net/src/io.rs"),
+        ("l004_unwrap", "KVS-L004", "crates/net/src/io.rs"),
+        ("l005_unsafe", "KVS-L005", "crates/store/src/raw.rs"),
+        ("l006_mutex", "KVS-L006", "crates/net/src/locks.rs"),
+        ("l007_lock", "KVS-L007", "crates/net/src/srv.rs"),
+        ("l008_reset", "KVS-L008", "crates/net/src/master.rs"),
+    ];
+    for (name, rule, path) in cases {
+        let outcome = kvs_lint::check_workspace(&fixture(name))
+            .unwrap_or_else(|e| panic!("scan fixture {name}: {e}"));
+        assert!(!outcome.is_clean(), "{name}: expected a violation");
+        assert!(
+            outcome
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == rule && d.path == path),
+            "{name}: expected a {rule} diagnostic in {path}, got: {:#?}",
+            outcome.diagnostics
+        );
+        // No collateral noise: a violating fixture trips exactly its rule.
+        assert!(
+            outcome.diagnostics.iter().all(|d| d.rule == rule),
+            "{name}: unexpected extra rules: {:#?}",
+            outcome.diagnostics
+        );
+        // Diagnostics carry real line numbers for `file:line` output.
+        assert!(outcome.diagnostics.iter().all(|d| d.line >= 1));
+    }
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let outcome = kvs_lint::check_workspace(&fixture("l004_unwrap")).expect("scan fixture");
+    let rendered = outcome.diagnostics[0].to_string();
+    assert!(
+        rendered.starts_with("crates/net/src/io.rs:4: KVS-L004:"),
+        "unexpected rendering: {rendered}"
+    );
+}

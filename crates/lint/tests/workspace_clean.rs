@@ -1,0 +1,24 @@
+//! The self-check the CI job leans on: the live workspace stays clean.
+//! Running the lint as a `#[test]` means `cargo test` alone catches an
+//! invariant violation even where the dedicated CI job is not wired up.
+
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("crates/lint has a workspace root two levels up");
+    let outcome = kvs_lint::check_workspace(&root).expect("scan workspace");
+    let rendered: Vec<String> = outcome.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        outcome.is_clean(),
+        "workspace lint violations (fix or waive in lint.waivers.toml):\n{}",
+        rendered.join("\n")
+    );
+    // The waiver file is exercised by the live tree; if every waived site
+    // gets fixed, the stale-waiver rule (KVS-L000) fails above instead.
+    assert!(outcome.files_scanned > 50, "walker found too few files");
+}

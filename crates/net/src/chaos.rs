@@ -20,6 +20,8 @@
 //! [`ChaosStats::seq_regressions`].
 
 use crate::frame::{Frame, FrameKind, HEADER_LEN};
+use crate::ioutil::{best_effort, join_logged};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
@@ -365,7 +367,7 @@ pub struct ChaosProxy {
     stop: Arc<AtomicBool>,
     stats: Arc<AtomicStats>,
     accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 /// Everything a pump thread needs, shared per proxy.
@@ -388,8 +390,7 @@ impl ChaosProxy {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(AtomicStats::default());
-        let conn_threads: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
-            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let shared = Arc::new(Shared {
             schedule,
             start: Instant::now(),
@@ -416,13 +417,13 @@ impl ChaosProxy {
                         Ok(s) => s,
                         Err(_) => continue, // slave down: refuse by dropping
                     };
-                    let _ = client.set_nodelay(true);
-                    let _ = upstream_conn.set_nodelay(true);
+                    best_effort("set_nodelay (client)", client.set_nodelay(true));
+                    best_effort("set_nodelay (upstream)", upstream_conn.set_nodelay(true));
                     let conn_id = conn_seq.fetch_add(1, Ordering::Relaxed);
                     let (Ok(c2), Ok(u2)) = (client.try_clone(), upstream_conn.try_clone()) else {
                         continue;
                     };
-                    let mut registry = conn_threads.lock().expect("conn registry");
+                    let mut registry = conn_threads.lock();
                     let shared_a = shared.clone();
                     let shared_b = shared.clone();
                     registry.push(std::thread::spawn(move || {
@@ -458,13 +459,17 @@ impl ChaosProxy {
     /// pump thread. Connections through the proxy are cut.
     pub fn shutdown(mut self) -> ChaosStats {
         self.stop.store(true, Ordering::Release);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+        // Wake the accept loop; a failed loopback connect would leave it
+        // blocked, so it is worth a log line.
+        if let Err(e) = TcpStream::connect(self.addr) {
+            eprintln!("kvs-net: chaos shutdown wake-up connect failed: {e}");
         }
-        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn registry"));
+        if let Some(h) = self.accept_thread.take() {
+            join_logged("chaos accept thread", h);
+        }
+        let conns = std::mem::take(&mut *self.conn_threads.lock());
         for h in conns {
-            let _ = h.join();
+            join_logged("chaos pump thread", h);
         }
         self.stats.snapshot()
     }
@@ -497,7 +502,12 @@ pub fn wrap_cluster(
 /// to `dst`; on exit cuts both so the opposite pump and both peers see
 /// EOF promptly.
 fn pump(src: TcpStream, mut dst: TcpStream, to_slave: bool, conn_id: u64, shared: &Shared) {
-    let _ = src.set_read_timeout(Some(PUMP_POLL));
+    // Without the poll timeout this pump cannot notice `stop`; log, since
+    // a stuck pump shows up later as a hung shutdown.
+    best_effort(
+        "pump set_read_timeout",
+        src.set_read_timeout(Some(PUMP_POLL)),
+    );
     let mut src_reader = match src.try_clone() {
         Ok(r) => r,
         Err(_) => return,
@@ -518,8 +528,9 @@ fn pump(src: TcpStream, mut dst: TcpStream, to_slave: bool, conn_id: u64, shared
     // so relay raw bytes (the receiver's CRC check is the authority).
     let mut dumb = false;
     let cut = |src: &TcpStream, dst: &TcpStream| {
-        let _ = src.shutdown(Shutdown::Both);
-        let _ = dst.shutdown(Shutdown::Both);
+        // Cutting an already-cut socket reports NotConnected; quiet.
+        best_effort("pump cut (src)", src.shutdown(Shutdown::Both));
+        best_effort("pump cut (dst)", dst.shutdown(Shutdown::Both));
     };
     loop {
         match src_reader.read(&mut chunk) {
@@ -640,7 +651,9 @@ fn relay_frame(
         Some(FaultAction::Truncate(n)) => {
             stats.truncated.fetch_add(1, Ordering::Relaxed);
             let n = n.min(raw.len().saturating_sub(1));
-            let _ = forward(dst, &raw[..n], shared, false);
+            // The connection is cut right after; the prefix write is
+            // best-effort by design.
+            best_effort("truncated forward", forward(dst, &raw[..n], shared, false));
             false // cut the connection mid-frame
         }
         Some(FaultAction::CorruptCrc) => {

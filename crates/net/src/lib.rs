@@ -37,6 +37,7 @@ pub mod calibrate;
 pub mod chaos;
 pub mod clock;
 pub mod frame;
+mod ioutil;
 pub mod latency;
 pub mod local;
 pub mod master;

@@ -598,9 +598,9 @@ impl NetMaster {
                         p.hedge_at = Some(send_last + self.hedge_delay(p.node(), &h));
                     }
                 }
-                *inflight
-                    .get_mut(p.node() as usize)
-                    .expect("node index in range") += 1;
+                if let Some(slot) = inflight.get_mut(p.node() as usize) {
+                    *slot += 1;
+                }
                 ctr.bytes_to_slaves += p.payload.len() as u64;
                 pending.insert(i as u64, p);
             }
@@ -627,10 +627,15 @@ impl NetMaster {
                 let due = origin + Duration::from_nanos(arrivals[next_issue]);
                 nearest = Some(nearest.map_or(due, |n: Instant| n.min(due)));
             }
-            let wait = nearest
-                .expect("loop terminates when nothing is pending or unissued")
-                .saturating_duration_since(Instant::now())
-                .max(Duration::from_micros(100));
+            // `nearest` is `None` only when nothing is pending and nothing
+            // is left to issue — the loop break above; a plain poll
+            // interval keeps even that impossible case live.
+            let wait = match nearest {
+                Some(at) => at
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_micros(100)),
+                None => Duration::from_micros(100),
+            };
             match self.rx.recv_timeout(wait) {
                 Ok(Event::Frame(node, frame)) => {
                     self.note_alive(node);
@@ -781,7 +786,9 @@ impl NetMaster {
                         .map(|(&id, _)| id)
                         .collect();
                     for id in stranded {
-                        let mut p = pending.remove(&id).expect("stranded id present");
+                        let Some(mut p) = pending.remove(&id) else {
+                            continue;
+                        };
                         if let Some(slot) = inflight.get_mut(p.node() as usize) {
                             *slot = slot.saturating_sub(1);
                         }
@@ -838,7 +845,9 @@ impl NetMaster {
                 .map(|(&id, _)| id)
                 .collect();
             for id in overdue {
-                let p = pending.remove(&id).expect("overdue id present");
+                let Some(p) = pending.remove(&id) else {
+                    continue;
+                };
                 if let Some(slot) = inflight.get_mut(p.node() as usize) {
                     *slot = slot.saturating_sub(1);
                 }
@@ -864,13 +873,13 @@ impl NetMaster {
                 .map(|(&id, _)| id)
                 .collect();
             for id in due {
-                let target = {
-                    let p = pending.get_mut(&id).expect("due id present");
-                    p.hedge_at = None;
-                    self.pick_hedge_target(p, now, &inflight)
+                let Some(p) = pending.get_mut(&id) else {
+                    continue;
                 };
-                let Some(node) = target else { continue };
-                let p = pending.get_mut(&id).expect("due id present");
+                p.hedge_at = None;
+                let Some(node) = self.pick_hedge_target(p, now, &inflight) else {
+                    continue;
+                };
                 let sent_wall = wall_ns();
                 let seq = self.send_seq;
                 self.send_seq += 1;
@@ -903,7 +912,9 @@ impl NetMaster {
                 .map(|(&id, _)| id)
                 .collect();
             for id in expired {
-                let mut p = pending.remove(&id).expect("expired id present");
+                let Some(mut p) = pending.remove(&id) else {
+                    continue;
+                };
                 if let Some(slot) = inflight.get_mut(p.node() as usize) {
                     *slot = slot.saturating_sub(1);
                 }
@@ -1105,7 +1116,10 @@ impl NetMaster {
         }
         if let Some(slot) = self.writers.get_mut(node as usize) {
             if let Some(w) = slot.take() {
-                let _ = w.shutdown(Shutdown::Both);
+                crate::ioutil::best_effort(
+                    "close dead node connection",
+                    w.shutdown(Shutdown::Both),
+                );
             }
         }
     }
@@ -1181,11 +1195,11 @@ impl NetMaster {
 
     fn close(&mut self) {
         for w in self.writers.iter().flatten() {
-            let _ = w.shutdown(Shutdown::Both);
+            crate::ioutil::best_effort("close connection", w.shutdown(Shutdown::Both));
         }
         self.writers.clear();
         for h in self.readers.drain(..) {
-            let _ = h.join();
+            crate::ioutil::join_logged("reader thread", h);
         }
     }
 }

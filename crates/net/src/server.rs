@@ -19,6 +19,7 @@
 
 use crate::clock::wall_ns;
 use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
+use crate::ioutil::{best_effort, join_logged};
 use kvs_cluster::queue::{work_queue, QueueStats, TimedPush, WorkQueue, NO_DEADLINE};
 use kvs_cluster::{Codec, QueryResponse};
 use kvs_store::Table;
@@ -68,7 +69,7 @@ pub struct SlaveHandle {
     stop: Arc<AtomicBool>,
     queue: WorkQueue<Job>,
     accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     workers: Vec<JoinHandle<()>>,
     table: Arc<Mutex<Table>>,
 }
@@ -93,8 +94,7 @@ impl SlaveServer {
             }));
         }
 
-        let conn_threads: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
-            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {
             let stop = stop.clone();
             let queue = queue.clone();
@@ -108,12 +108,14 @@ impl SlaveServer {
                     if stop.load(Ordering::Acquire) {
                         break; // the shutdown wake-up connection
                     }
-                    let _ = stream.set_nodelay(true);
-                    let _ = stream.set_read_timeout(Some(READ_POLL));
+                    best_effort("set_nodelay", stream.set_nodelay(true));
+                    // A socket without the poll timeout would pin its
+                    // reader thread at shutdown; worth a log line.
+                    best_effort("set_read_timeout", stream.set_read_timeout(Some(READ_POLL)));
                     let queue = queue.clone();
                     let stop = stop.clone();
                     let handle = std::thread::spawn(move || read_connection(stream, queue, stop));
-                    conn_threads.lock().expect("conn registry").push(handle);
+                    conn_threads.lock().push(handle);
                 }
             })
         };
@@ -215,7 +217,11 @@ fn reply_refusal(job: &Job, kind: FrameKind) {
         deadline: job.frame.deadline,
         payload: bytes::Bytes::new(),
     };
-    let _ = refusal.write_to(&mut *job.conn.lock());
+    // The connection mutex *is* the per-connection write serializer:
+    // refusals from readers and responses from workers must not interleave
+    // mid-frame, so holding it across the write is the point (waived
+    // KVS-L007). A failed write means the master hung up — best effort.
+    best_effort("refusal write", refusal.write_to(&mut *job.conn.lock()));
 }
 
 fn would_block(e: &io::Error) -> bool {
@@ -254,8 +260,9 @@ fn serve(table: &Mutex<Table>, job: Job) {
         deadline: job.frame.deadline,
         payload: codec.encode_response(&response),
     };
-    // The master may have hung up; nothing useful to do about it here.
-    let _ = reply.write_to(&mut *job.conn.lock());
+    // Same per-connection write serialization as `reply_refusal` (waived
+    // KVS-L007); a failed write means the master hung up.
+    best_effort("response write", reply.write_to(&mut *job.conn.lock()));
 }
 
 impl SlaveHandle {
@@ -281,14 +288,17 @@ impl SlaveHandle {
     /// data intact (see `LocalCluster::kill`/`restart`).
     pub fn shutdown_take_table(mut self) -> (QueueStats, Table) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+        // Unblock the accept loop with a throwaway connection. If even
+        // loopback connect fails the accept loop may hang — say so.
+        if let Err(e) = TcpStream::connect(self.addr) {
+            eprintln!("kvs-net: shutdown wake-up connect failed: {e}");
         }
-        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn registry"));
+        if let Some(h) = self.accept_thread.take() {
+            join_logged("accept thread", h);
+        }
+        let conns = std::mem::take(&mut *self.conn_threads.lock());
         for h in conns {
-            let _ = h.join();
+            join_logged("connection reader", h);
         }
         let stats = self.queue.stats();
         // Workers exit once every queue producer is gone.
@@ -300,7 +310,7 @@ impl SlaveHandle {
         } = self;
         drop(queue);
         for h in workers {
-            let _ = h.join();
+            join_logged("worker thread", h);
         }
         let table = Arc::try_unwrap(table)
             .unwrap_or_else(|_| panic!("table still shared after worker join"))
