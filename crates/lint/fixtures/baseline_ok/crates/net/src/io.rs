@@ -1,0 +1,5 @@
+//! Fixture: an un-waived unwrap in a hot path.
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

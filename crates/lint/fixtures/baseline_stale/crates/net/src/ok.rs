@@ -1,0 +1,13 @@
+//! Fixture: error discipline and lock hygiene done right (KVS-L003/L004/
+//! L006/L007 pass).
+
+use parking_lot::Mutex;
+
+pub fn toggle(flag: &Mutex<bool>) {
+    let mut guard = flag.lock();
+    *guard = !*guard;
+}
+
+pub fn parse(s: &str) -> Option<u32> {
+    s.parse().ok()
+}

@@ -1,0 +1,11 @@
+//! Fixture: bounded channel with both endpoints living in one lifecycle
+//! (KVS-L010 pass).
+
+pub fn round_trip() -> u64 {
+    let (job_tx, job_rx) = crossbeam::channel::bounded::<u64>(8);
+    job_tx.send(41).ok();
+    match job_rx.recv() {
+        Ok(v) => v + 1,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: lexer edge cases that must NOT trip any rule — banned tokens
+//! live only inside raw strings (any hash depth) and char literals, and
+//! lifetimes must not be mistaken for char-literal openers.
+
+pub fn templates<'a>(pick: &'a str) -> &'a str {
+    let deep = r####"say "hi" unsafe { SystemTime::now() } thread_rng()"####;
+    let nested = r#"a `let _ = x;` example with "quotes" inside"#;
+    let tick = '\'';
+    let letter = 'x';
+    if pick.is_empty() || tick == letter {
+        deep
+    } else {
+        nested
+    }
+}
+
+pub fn lifetime_heavy<'s, 'q>(a: &'s str, b: &'q str) -> usize {
+    a.len() + b.len()
+}

@@ -1,0 +1,33 @@
+//! Fixture: consistent lock order and statement temporaries (KVS-L009
+//! pass) — every function that takes both locks takes `accounts` first.
+
+use parking_lot::Mutex;
+
+pub struct Shared {
+    pub accounts: Mutex<u64>,
+    pub journal: Mutex<u64>,
+}
+
+pub fn credit(s: &Shared) {
+    let accounts = s.accounts.lock();
+    let mut journal = s.journal.lock();
+    *journal += *accounts;
+    drop(journal);
+    drop(accounts);
+}
+
+pub fn audit(s: &Shared) {
+    let accounts = s.accounts.lock();
+    let mut journal = s.journal.lock();
+    *journal = *accounts;
+    drop(journal);
+    drop(accounts);
+}
+
+pub fn snapshot(s: &Shared) -> u64 {
+    // Statement temporaries release before the next statement starts:
+    // no held-state, no edges.
+    let a = *s.accounts.lock();
+    let j = *s.journal.lock();
+    a + j
+}

@@ -1,0 +1,20 @@
+//! Fixture: response stamps written once, every slot distinct and
+//! non-zero (KVS-L011 pass).
+
+pub fn reply(first: u64, dequeued: u64, db_end: u64, payload: Vec<u8>) -> Frame {
+    Frame {
+        kind: FrameKind::Response,
+        id: 9,
+        stamps: [first, dequeued, db_end, wall_ns()],
+        payload,
+    }
+}
+
+pub fn refuse(kind: FrameKind, first: u64) -> Frame {
+    Frame {
+        kind,
+        id: 9,
+        stamps: [first, wall_ns(), 0, 0],
+        payload: Vec::new(),
+    }
+}

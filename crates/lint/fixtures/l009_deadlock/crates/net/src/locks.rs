@@ -1,0 +1,25 @@
+//! Fixture: two functions acquire the same pair of locks in opposite
+//! orders — the acquired-while-held graph has a cycle (KVS-L009).
+
+use parking_lot::Mutex;
+
+pub struct Shared {
+    pub accounts: Mutex<u64>,
+    pub journal: Mutex<u64>,
+}
+
+pub fn credit(s: &Shared) {
+    let accounts = s.accounts.lock();
+    let mut journal = s.journal.lock();
+    *journal += *accounts;
+    drop(journal);
+    drop(accounts);
+}
+
+pub fn audit(s: &Shared) {
+    let journal = s.journal.lock();
+    let mut accounts = s.accounts.lock();
+    *accounts += *journal;
+    drop(accounts);
+    drop(journal);
+}

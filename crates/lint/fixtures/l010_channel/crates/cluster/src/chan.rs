@@ -1,0 +1,16 @@
+//! Fixture: channel-topology violations (KVS-L010) — one unbounded
+//! construction, one bounded channel whose receiver is never drained.
+
+pub fn unbounded_events() -> u64 {
+    let (event_tx, event_rx) = crossbeam::channel::unbounded::<u64>();
+    event_tx.send(7).ok();
+    match event_rx.recv() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+pub fn dead_letter() {
+    let (job_tx, _job_rx) = crossbeam::channel::bounded::<u64>(8);
+    job_tx.send(1).ok();
+}

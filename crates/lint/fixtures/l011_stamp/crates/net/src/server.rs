@@ -1,0 +1,10 @@
+//! Fixture: a response frame drops the in-db stage stamp (KVS-L011).
+
+pub fn reply(first: u64, dequeued: u64, payload: Vec<u8>) -> Frame {
+    Frame {
+        kind: FrameKind::Response,
+        id: 9,
+        stamps: [first, dequeued, 0, wall_ns()],
+        payload,
+    }
+}

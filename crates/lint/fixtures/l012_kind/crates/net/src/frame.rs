@@ -1,0 +1,40 @@
+//! Fixture frame module: constants and doc table agree (KVS-L002 pass).
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic        0x4B56 ("KV")
+//!      2     1  version      2 (version 1 still decodes)
+//!      3     1  kind         1 = request, 2 = response, 3 = busy,
+//!                            4 = expired
+//!      4     1  flags        bit 0: compact codec
+//!      5     8  id           request id
+//!     13     4  len          payload length in bytes
+//!     17    32  stamps[4]    wall-clock nanoseconds
+//!     49     8  deadline     absolute deadline; 0 = none
+//!     57     4  checksum     CRC-32 over bytes [0, 57) + payload
+//!     61   len  payload      codec-encoded body
+//! ```
+
+pub const MAGIC: u16 = 0x4B56;
+pub const VERSION: u8 = 2;
+pub const VERSION_V1: u8 = 1;
+pub const HEADER_LEN: usize = 61;
+pub const HEADER_LEN_V1: usize = 53;
+
+pub enum FrameKind {
+    Request,
+    Response,
+    Busy,
+    Expired,
+}
+
+impl FrameKind {
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+            FrameKind::Busy => 3,
+            FrameKind::Expired => 4,
+        }
+    }
+}

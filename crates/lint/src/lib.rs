@@ -9,6 +9,13 @@
 //! paths. See [`rules`] for the rule catalogue and [`waiver`] for the
 //! escape hatch.
 //!
+//! Since PR 5 the linter is a three-layer analyzer: a real tokenizer and
+//! token-tree builder ([`token`], [`tree`]), the line rules plus
+//! semantic passes over the trees ([`rules`], [`passes`]: lock-order
+//! cycles, channel topology, stage-stamp dataflow, frame-kind
+//! exhaustiveness), and a reporting layer with SARIF/JSON output
+//! ([`sarif`], [`json`]) and a frozen-debt ratchet ([`baseline`]).
+//!
 //! Deliberately dependency-free (std only): this crate is the tool that
 //! guards the shims, so it must build even when every shim is broken.
 //!
@@ -16,13 +23,24 @@
 //!
 //! ```console
 //! $ cargo run -p kvs-lint -- check            # lint the workspace
+//! $ cargo run -p kvs-lint -- check --format sarif --output kvs-lint.sarif
 //! $ cargo run -p kvs-lint -- rules            # list rule IDs
+//! $ cargo run -p kvs-lint -- waivers          # waivers with hit counts
+//! $ cargo run -p kvs-lint -- baseline --update
 //! ```
+//!
+//! See `docs/LINT.md` for the architecture and the full rule catalogue.
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod json;
+pub mod passes;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod token;
+pub mod tree;
 pub mod waiver;
 
 pub use rules::{Diagnostic, RULES};
@@ -37,10 +55,17 @@ pub const WAIVER_FILE: &str = "lint.waivers.toml";
 
 /// Result of linting one workspace root.
 pub struct Outcome {
-    /// Violations that remain after waivers — non-empty means fail.
+    /// Violations that remain after waivers and baseline — non-empty
+    /// means fail.
     pub diagnostics: Vec<Diagnostic>,
     /// Violations suppressed by a waiver, with the justification.
     pub waived: Vec<(Diagnostic, String)>,
+    /// Violations frozen in `lint.baseline.json`: reported (SARIF level
+    /// `warning`) but not failing.
+    pub baselined: Vec<Diagnostic>,
+    /// Every parsed waiver with the number of diagnostics it suppressed
+    /// this run; feeds `kvs-lint waivers`.
+    pub waiver_hits: Vec<(waiver::Waiver, usize)>,
     /// Number of source files scanned.
     pub files_scanned: usize,
 }
@@ -117,22 +142,58 @@ pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
     let ws = rules::Workspace { files, net_md };
     let raw = rules::run_all(&ws);
 
+    let config_error = |line: usize, message: String, raw: Vec<Diagnostic>| -> Outcome {
+        let mut diagnostics = raw;
+        diagnostics.push(Diagnostic {
+            rule: "KVS-L000",
+            path: WAIVER_FILE.to_string(),
+            line,
+            message,
+        });
+        diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        Outcome {
+            diagnostics,
+            waived: Vec::new(),
+            baselined: Vec::new(),
+            waiver_hits: Vec::new(),
+            files_scanned,
+        }
+    };
+
     let waiver_path = root.join(WAIVER_FILE);
     let waivers = if waiver_path.is_file() {
         match waiver::parse(&fs::read_to_string(&waiver_path)?) {
             Ok(ws) => ws,
             Err((line, msg)) => {
+                return Ok(config_error(
+                    line,
+                    format!("waiver file rejected: {msg}"),
+                    raw,
+                ));
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let baseline_path = root.join(baseline::BASELINE_FILE);
+    let baseline_entries = if baseline_path.is_file() {
+        match baseline::parse(&fs::read_to_string(&baseline_path)?) {
+            Ok(es) => es,
+            Err(msg) => {
                 let mut diagnostics = raw;
                 diagnostics.push(Diagnostic {
                     rule: "KVS-L000",
-                    path: WAIVER_FILE.to_string(),
-                    line,
-                    message: format!("waiver file rejected: {msg}"),
+                    path: baseline::BASELINE_FILE.to_string(),
+                    line: 1,
+                    message: format!("baseline file rejected: {msg}"),
                 });
                 diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
                 return Ok(Outcome {
                     diagnostics,
                     waived: Vec::new(),
+                    baselined: Vec::new(),
+                    waiver_hits: Vec::new(),
                     files_scanned,
                 });
             }
@@ -152,11 +213,20 @@ pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
         }
         None
     };
-    let (mut diagnostics, waived) = waiver::apply(raw, &waivers, WAIVER_FILE, raw_line);
+    let applied = waiver::apply(raw, &waivers, WAIVER_FILE, raw_line);
+    let (mut diagnostics, mut baselined) = baseline::apply(
+        applied.failing,
+        &baseline_entries,
+        baseline::BASELINE_FILE,
+        raw_line,
+    );
     diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    baselined.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(Outcome {
         diagnostics,
-        waived,
+        waived: applied.waived,
+        baselined,
+        waiver_hits: waivers.into_iter().zip(applied.hits).collect(),
         files_scanned,
     })
 }

@@ -1,0 +1,1149 @@
+//! Semantic passes over token trees: KVS-L009 … KVS-L012.
+//!
+//! These are whole-program checks in the spirit of lightweight model
+//! checking — not a runtime explorer, but build-time extraction of the
+//! concurrency and dataflow structure the paper's methodology leans on:
+//!
+//! * **KVS-L009** collects every `Mutex`/`RwLock` acquisition in
+//!   `net`/`cluster`, builds the acquired-while-held edge set per function
+//!   (with call-edge propagation one level deep) and fails on any cycle —
+//!   a deadlock candidate — with the full witness path.
+//! * **KVS-L010** pairs channel/queue endpoints by construction site,
+//!   flags unbounded channels (waivable for the documented response
+//!   paths) and sends without a matching drain.
+//! * **KVS-L011** checks the stage-stamp dataflow on the request paths in
+//!   `server.rs`/`master.rs`: every `stamps[0..4]` slot is written exactly
+//!   once, at frame construction, per the frame-kind contract — the class
+//!   of bug where a refactor drops the in-db timing and the model fit
+//!   silently degrades.
+//! * **KVS-L012** requires every `match` on the frame kind in
+//!   `master.rs`/`server.rs`/`chaos.rs` to handle all kinds declared in
+//!   `frame.rs`, or to carry an explicitly waived wildcard.
+//!
+//! Heuristic boundaries (documented so nobody re-learns them): lock
+//! identity is the receiver's trailing field/binding name, crate-
+//! qualified (`net:conn`); two different mutexes sharing a field name in
+//! one crate alias. Guards are tracked for `let g = ….lock();` bindings
+//! and same-statement nesting; statement temporaries
+//! (`table.lock().get(…)`) release before the next statement and create
+//! no held state. Closures passed to `spawn` run on another thread and
+//! are analyzed as separate synthetic functions. Call-edge propagation
+//! covers bare free-function calls and `self.method(…)` calls, one level
+//! deep, within the same crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::{Diagnostic, Workspace};
+use crate::scan::SourceFile;
+use crate::token::{Tok, TokKind};
+use crate::tree::{self, Delim, Group, Tree};
+
+/// Runs all semantic passes.
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    lock_order(ws, out);
+    channel_topology(ws, out);
+    stamp_dataflow(ws, out);
+    kind_exhaustiveness(ws, out);
+}
+
+fn in_net_or_cluster_src(rel: &str) -> bool {
+    rel.starts_with("crates/net/src/") || rel.starts_with("crates/cluster/src/")
+}
+
+fn crate_key(rel: &str) -> &str {
+    if rel.starts_with("crates/net/") {
+        "net"
+    } else if rel.starts_with("crates/cluster/") {
+        "cluster"
+    } else {
+        "other"
+    }
+}
+
+fn leaf_text<'a>(src: &'a str, toks: &[Tok], t: &Tree) -> Option<&'a str> {
+    match t {
+        Tree::Leaf(ix) => Some(toks[*ix].text(src)),
+        Tree::Group(_) => None,
+    }
+}
+
+fn leaf_line(toks: &[Tok], t: &Tree) -> usize {
+    match t {
+        Tree::Leaf(ix) => toks[*ix].line,
+        Tree::Group(g) => toks[g.open].line,
+    }
+}
+
+fn is_punct(src: &str, toks: &[Tok], t: &Tree, ch: &str) -> bool {
+    matches!(t, Tree::Leaf(ix) if toks[*ix].kind == TokKind::Punct && toks[*ix].text(src) == ch)
+}
+
+fn is_ident(_src: &str, toks: &[Tok], t: &Tree) -> bool {
+    matches!(t, Tree::Leaf(ix) if toks[*ix].kind == TokKind::Ident)
+}
+
+// ---------------------------------------------------------------------------
+// KVS-L009: lock-order graph.
+// ---------------------------------------------------------------------------
+
+/// Zero-argument methods that acquire a lock.
+const ACQ_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Keywords that look like `ident(` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "move", "in", "as", "ref", "mut", "unsafe", "await", "drop",
+];
+
+#[derive(Debug, Clone)]
+struct LockEdge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+    note: String,
+}
+
+/// A call made while at least one guard was held: resolved against the
+/// same-crate function index for one level of propagation.
+struct HeldCall {
+    held: Vec<String>,
+    callee: String,
+    file: String,
+    line: usize,
+}
+
+#[derive(Default)]
+struct FnFacts {
+    /// Crate-qualified identities of every lock this function acquires.
+    acquired: Vec<String>,
+}
+
+struct LockCollector<'a> {
+    src: &'a str,
+    toks: &'a [Tok],
+    f: &'a SourceFile,
+    edges: Vec<LockEdge>,
+    calls: Vec<HeldCall>,
+    facts: FnFacts,
+    /// `spawn(…)` argument groups queued for isolated analysis.
+    spawned: Vec<&'a Group>,
+}
+
+impl<'a> LockCollector<'a> {
+    /// Walks one block: statements split on `;` (and `,` in match
+    /// bodies). Guards bound here go out of scope when the block ends.
+    fn walk_block(&mut self, children: &'a [Tree], held: &mut Vec<(String, String)>, comma: bool) {
+        let entry = held.len();
+        let mut start = 0;
+        for i in 0..=children.len() {
+            let boundary = i == children.len()
+                || is_punct(self.src, self.toks, &children[i], ";")
+                || (comma && is_punct(self.src, self.toks, &children[i], ","));
+            if !boundary {
+                continue;
+            }
+            let stmt = &children[start..i];
+            start = i + 1;
+            if stmt.is_empty() {
+                continue;
+            }
+            if leaf_text(self.src, self.toks, &stmt[0]) == Some("fn") {
+                continue; // nested fn: analyzed as its own function
+            }
+            let mut stmt_acqs: Vec<String> = Vec::new();
+            self.scan_stmt(stmt, held, &mut stmt_acqs);
+            self.maybe_bind_guard(stmt, held, &stmt_acqs);
+            self.maybe_drop_guard(stmt, held);
+        }
+        held.truncate(entry);
+    }
+
+    /// Scans one statement (recursing through paren/bracket groups and
+    /// into nested blocks) for acquisitions and calls-while-held.
+    fn scan_stmt(
+        &mut self,
+        stmt: &'a [Tree],
+        held: &mut Vec<(String, String)>,
+        stmt_acqs: &mut Vec<String>,
+    ) {
+        let mut seen_match = false;
+        let mut i = 0;
+        while i < stmt.len() {
+            // Acquisition: `.` + lock/read/write + `()`.
+            if is_punct(self.src, self.toks, &stmt[i], ".")
+                && i + 2 < stmt.len()
+                && leaf_text(self.src, self.toks, &stmt[i + 1])
+                    .is_some_and(|t| ACQ_METHODS.contains(&t))
+                && matches!(&stmt[i + 2], Tree::Group(g) if g.delim == Delim::Paren && g.children.is_empty())
+            {
+                if let Some(lock) = self.receiver_identity(stmt, i) {
+                    let line = leaf_line(self.toks, &stmt[i + 1]);
+                    for (h, _) in held.iter() {
+                        self.push_edge(h.clone(), lock.clone(), line, String::new());
+                    }
+                    for prior in stmt_acqs.iter() {
+                        if *prior != lock {
+                            self.push_edge(prior.clone(), lock.clone(), line, String::new());
+                        }
+                    }
+                    stmt_acqs.push(lock.clone());
+                    self.facts.acquired.push(lock);
+                }
+                i += 3;
+                continue;
+            }
+            // Call / spawn handling: `ident(…)`.
+            if is_ident(self.src, self.toks, &stmt[i])
+                && i + 1 < stmt.len()
+                && matches!(&stmt[i + 1], Tree::Group(g) if g.delim == Delim::Paren)
+            {
+                let name = leaf_text(self.src, self.toks, &stmt[i]).unwrap_or("");
+                if name == "spawn" {
+                    // The closure runs on another thread: no lock held
+                    // here is held there. Analyze it in isolation.
+                    if let Tree::Group(g) = &stmt[i + 1] {
+                        self.spawned.push(g);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if !held.is_empty()
+                    && !NON_CALL_KEYWORDS.contains(&name)
+                    && self.callee_shape_ok(stmt, i)
+                {
+                    self.calls.push(HeldCall {
+                        held: held.iter().map(|(h, _)| h.clone()).collect(),
+                        callee: name.to_string(),
+                        file: self.f.rel.clone(),
+                        line: leaf_line(self.toks, &stmt[i]),
+                    });
+                }
+            }
+            match &stmt[i] {
+                Tree::Group(g) if g.delim == Delim::Brace => {
+                    self.walk_block(&g.children, held, seen_match);
+                    seen_match = false;
+                }
+                Tree::Group(g) => self.scan_stmt(&g.children, held, stmt_acqs),
+                Tree::Leaf(_) => {
+                    if leaf_text(self.src, self.toks, &stmt[i]) == Some("match") {
+                        seen_match = true;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Lock identity for the acquisition whose `.` sits at `stmt[dot]`:
+    /// the trailing identifier of the receiver chain, crate-qualified.
+    fn receiver_identity(&self, stmt: &[Tree], dot: usize) -> Option<String> {
+        let mut j = dot;
+        while j > 0 {
+            let prev = &stmt[j - 1];
+            if let Some(t) = leaf_text(self.src, self.toks, prev) {
+                if matches!(prev, Tree::Leaf(ix) if self.toks[*ix].kind == TokKind::Ident)
+                    && t != "self"
+                {
+                    return Some(format!("{}:{}", crate_key(&self.f.rel), t));
+                }
+                if t == "." || t == "self" || t == "*" || t == "&" {
+                    j -= 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        None
+    }
+
+    /// Only bare free-function calls and `self.method(…)` calls
+    /// propagate: method calls on locals (`registry.push(…)`) and path
+    /// calls (`AtomicU64::new(…)`) would alias unrelated functions.
+    fn callee_shape_ok(&self, stmt: &[Tree], i: usize) -> bool {
+        if i == 0 {
+            return true; // bare call at statement start
+        }
+        if is_punct(self.src, self.toks, &stmt[i - 1], ".") {
+            return i >= 2
+                && leaf_text(self.src, self.toks, &stmt[i - 2]) == Some("self")
+                && (i < 3 || !is_punct(self.src, self.toks, &stmt[i - 3], "."));
+        }
+        if is_punct(self.src, self.toks, &stmt[i - 1], ":") {
+            return false; // path call
+        }
+        true
+    }
+
+    /// Binds `let [mut] NAME = ….lock();` as a held guard for the rest of
+    /// the enclosing block.
+    fn maybe_bind_guard(
+        &mut self,
+        stmt: &'a [Tree],
+        held: &mut Vec<(String, String)>,
+        stmt_acqs: &[String],
+    ) {
+        if stmt_acqs.is_empty() || leaf_text(self.src, self.toks, &stmt[0]) != Some("let") {
+            return;
+        }
+        let n = stmt.len();
+        let ends_with_acq = n >= 3
+            && matches!(&stmt[n - 1], Tree::Group(g) if g.delim == Delim::Paren && g.children.is_empty())
+            && leaf_text(self.src, self.toks, &stmt[n - 2])
+                .is_some_and(|t| ACQ_METHODS.contains(&t))
+            && is_punct(self.src, self.toks, &stmt[n - 3], ".");
+        if !ends_with_acq {
+            return;
+        }
+        let mut k = 1;
+        if leaf_text(self.src, self.toks, &stmt[k]) == Some("mut") {
+            k += 1;
+        }
+        if let Some(name) = leaf_text(self.src, self.toks, &stmt[k]) {
+            if is_ident(self.src, self.toks, &stmt[k]) {
+                let lock = stmt_acqs.last().expect("checked non-empty").clone();
+                held.push((lock, name.to_string()));
+            }
+        }
+    }
+
+    /// `drop(NAME);` releases a held guard early.
+    fn maybe_drop_guard(&mut self, stmt: &'a [Tree], held: &mut Vec<(String, String)>) {
+        if stmt.len() == 2 && leaf_text(self.src, self.toks, &stmt[0]) == Some("drop") {
+            if let Tree::Group(g) = &stmt[1] {
+                if g.delim == Delim::Paren && g.children.len() == 1 {
+                    if let Some(name) = leaf_text(self.src, self.toks, &g.children[0]) {
+                        held.retain(|(_, g)| g != name);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_edge(&mut self, from: String, to: String, line: usize, note: String) {
+        self.edges.push(LockEdge {
+            from,
+            to,
+            file: self.f.rel.clone(),
+            line,
+            note,
+        });
+    }
+}
+
+fn lock_order(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut calls: Vec<HeldCall> = Vec::new();
+    // (crate, fn name) → locks that function acquires anywhere.
+    let mut index: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+
+    for f in &ws.files {
+        if !in_net_or_cluster_src(&f.rel) {
+            continue;
+        }
+        let src = f.text.as_str();
+        let trees = tree::build(src, &f.toks);
+        for def in tree::functions(src, &f.toks, &trees) {
+            if f.line_in_test(def.line) {
+                continue;
+            }
+            let mut c = LockCollector {
+                src,
+                toks: &f.toks,
+                f,
+                edges: Vec::new(),
+                calls: Vec::new(),
+                facts: FnFacts::default(),
+                spawned: Vec::new(),
+            };
+            let mut held = Vec::new();
+            c.walk_block(&def.body.children, &mut held, false);
+            // Spawn closures: fresh thread, fresh held set, and their
+            // acquisitions do not count as the enclosing function's.
+            let mut queue = std::mem::take(&mut c.spawned);
+            let outer = std::mem::take(&mut c.facts);
+            while let Some(g) = queue.pop() {
+                let mut held = Vec::new();
+                c.walk_block(&g.children, &mut held, false);
+                queue.append(&mut c.spawned);
+            }
+            c.facts = outer;
+            index
+                .entry((crate_key(&f.rel).to_string(), def.name))
+                .or_default()
+                .extend(c.facts.acquired.iter().cloned());
+            edges.append(&mut c.edges);
+            calls.append(&mut c.calls);
+        }
+    }
+
+    // One level of call-edge propagation: a call made while holding H, to
+    // a same-crate function that acquires L, is an H → L edge.
+    for call in &calls {
+        let ck = crate_key(&call.file).to_string();
+        if let Some(locks) = index.get(&(ck, call.callee.clone())) {
+            for l in locks {
+                for h in &call.held {
+                    edges.push(LockEdge {
+                        from: h.clone(),
+                        to: l.clone(),
+                        file: call.file.clone(),
+                        line: call.line,
+                        note: format!(" via call to {}()", call.callee),
+                    });
+                }
+            }
+        }
+    }
+
+    // Deduplicate by (from, to), keeping the first witness site.
+    let mut adj: BTreeMap<String, Vec<LockEdge>> = BTreeMap::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in edges {
+        if seen.insert((e.from.clone(), e.to.clone())) {
+            adj.entry(e.from.clone()).or_default().push(e);
+        }
+    }
+
+    // Cycle detection with witness reconstruction.
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<String> = adj.keys().cloned().collect();
+    for start in &nodes {
+        let mut path: Vec<&LockEdge> = Vec::new();
+        let mut on_path: Vec<String> = vec![start.clone()];
+        find_cycle(&adj, start, &mut on_path, &mut path, &mut reported, out);
+    }
+}
+
+fn find_cycle<'e>(
+    adj: &'e BTreeMap<String, Vec<LockEdge>>,
+    node: &str,
+    on_path: &mut Vec<String>,
+    path: &mut Vec<&'e LockEdge>,
+    reported: &mut BTreeSet<Vec<String>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if on_path.len() > 32 {
+        return; // defensive bound; real lock graphs are tiny
+    }
+    let Some(nexts) = adj.get(node) else {
+        return;
+    };
+    for e in nexts {
+        if let Some(pos) = on_path.iter().position(|n| n == &e.to) {
+            // Cycle: edges path[pos..] plus e close the loop.
+            let cycle: Vec<&LockEdge> = path[pos..].iter().copied().chain([e]).collect();
+            let mut key: Vec<String> = cycle.iter().map(|c| c.from.clone()).collect();
+            key.sort();
+            if reported.insert(key) {
+                let witness: Vec<String> = cycle
+                    .iter()
+                    .map(|c| format!("{} -> {} ({}:{}{})", c.from, c.to, c.file, c.line, c.note))
+                    .collect();
+                out.push(Diagnostic {
+                    rule: "KVS-L009",
+                    path: cycle[0].file.clone(),
+                    line: cycle[0].line,
+                    message: format!(
+                        "lock-order cycle (deadlock candidate): {}",
+                        witness.join(", then ")
+                    ),
+                });
+            }
+            continue;
+        }
+        on_path.push(e.to.clone());
+        path.push(e);
+        find_cycle(adj, &e.to, on_path, path, reported, out);
+        path.pop();
+        on_path.pop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KVS-L010: channel / queue topology.
+// ---------------------------------------------------------------------------
+
+/// True when `code[pos]` starts `needle` and is not preceded by an
+/// identifier character (so `tx.` never matches `retx.`).
+fn find_endpoint_use(code: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = code[from..].find(needle) {
+        let at = from + p;
+        let ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+fn channel_topology(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    const SENDS: &[&str] = &[".send(", ".try_send(", ".try_push", ".push("];
+    const DRAINS: &[&str] = &[".recv", ".try_recv", ".iter(", ".try_iter(", ".drain"];
+    for f in &ws.files {
+        if !in_net_or_cluster_src(&f.rel) {
+            continue;
+        }
+        for (n, l) in f.numbered() {
+            if l.in_test {
+                continue;
+            }
+            let code = l.code.trim();
+            // `let (tx, rx) = <builder>…;` — single-line by rustfmt.
+            let Some(rest) = code.strip_prefix("let (") else {
+                continue;
+            };
+            let Some((names, init)) = rest.split_once(") =") else {
+                continue;
+            };
+            let names: Vec<&str> = names.split(',').map(str::trim).collect();
+            if names.len() != 2 {
+                continue;
+            }
+            let unbounded = init.contains("unbounded")
+                || (init.contains("channel(") && !init.contains("sync_channel("));
+            let bounded = init.contains("work_queue")
+                || init.contains("bounded(")
+                || init.contains("sync_channel(");
+            if !unbounded && !bounded {
+                continue;
+            }
+            let (tx, rx) = (names[0].trim_start_matches("mut "), names[1]);
+            if unbounded {
+                out.push(Diagnostic {
+                    rule: "KVS-L010",
+                    path: f.rel.clone(),
+                    line: n,
+                    message: format!(
+                        "unbounded channel `({tx}, {rx})` — queue depth is a measured quantity \
+                         here; bound it, or waive with the invariant that caps its growth"
+                    ),
+                });
+            }
+            // Endpoint pairing: a send in this file needs a drain in this
+            // file (both sides of every live channel stay in one
+            // lifecycle).
+            let mut sends = 0usize;
+            let mut drains = 0usize;
+            for (m, l2) in f.numbered() {
+                if l2.in_test || m == n {
+                    continue;
+                }
+                for s in SENDS {
+                    if find_endpoint_use(&l2.code, &format!("{tx}{s}")) {
+                        sends += 1;
+                    }
+                }
+                for d in DRAINS {
+                    if find_endpoint_use(&l2.code, &format!("{rx}{d}")) {
+                        drains += 1;
+                    }
+                }
+            }
+            if sends > 0 && drains == 0 {
+                out.push(Diagnostic {
+                    rule: "KVS-L010",
+                    path: f.rel.clone(),
+                    line: n,
+                    message: format!(
+                        "channel `({tx}, {rx})` is sent to ({sends} site(s)) but `{rx}` is never \
+                         drained in this file — dead-letter path or receiver leak"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KVS-L011: stage-stamp dataflow.
+// ---------------------------------------------------------------------------
+
+/// The four pipeline stages of PAPER.md §IV; `master.rs` must keep
+/// recording all of them or the per-stage decomposition silently loses a
+/// term.
+const STAGES: &[&str] = &[
+    "Stage::MasterToSlave",
+    "Stage::InQueue",
+    "Stage::InDb",
+    "Stage::SlaveToMaster",
+];
+
+fn stamp_scope(rel: &str) -> bool {
+    rel.starts_with("crates/net/src/")
+        && (rel.ends_with("/server.rs") || rel.ends_with("/master.rs"))
+}
+
+fn stamp_dataflow(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for f in &ws.files {
+        if !stamp_scope(&f.rel) {
+            continue;
+        }
+        let src = f.text.as_str();
+        let trees = tree::build(src, &f.toks);
+        check_frame_literals(f, src, &trees, out);
+        check_stage_completeness(f, out);
+        check_stamp_mutations(f, out);
+    }
+}
+
+/// Walks every sibling list looking for `Frame { … }` literals.
+fn check_frame_literals(f: &SourceFile, src: &str, trees: &[Tree], out: &mut Vec<Diagnostic>) {
+    let toks = &f.toks;
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            check_frame_literals(f, src, &g.children, out);
+        }
+        let is_frame = matches!(t, Tree::Leaf(ix) if toks[*ix].text(src) == "Frame");
+        if !is_frame {
+            continue;
+        }
+        let Some(Tree::Group(body)) = trees.get(i + 1) else {
+            continue;
+        };
+        if body.delim != Delim::Brace {
+            continue;
+        }
+        // Struct/trait declarations introduce `Frame {` too.
+        if i > 0
+            && leaf_text(src, toks, &trees[i - 1])
+                .is_some_and(|t| matches!(t, "struct" | "enum" | "union" | "impl" | "trait"))
+        {
+            continue;
+        }
+        let line = leaf_line(toks, t);
+        if f.line_in_test(line) {
+            continue;
+        }
+        check_one_frame(f, src, body, line, out);
+    }
+}
+
+/// Field value trees for `name:` inside a struct-literal body.
+fn field_value<'t>(src: &str, toks: &[Tok], body: &'t Group, name: &str) -> Option<Vec<&'t Tree>> {
+    let ch = &body.children;
+    let mut i = 0;
+    while i < ch.len() {
+        let here = leaf_text(src, toks, &ch[i]) == Some(name)
+            && ch.get(i + 1).is_some_and(|t| is_punct(src, toks, t, ":"))
+            && (i == 0 || is_punct(src, toks, &ch[i - 1], ","));
+        if here {
+            let mut vals = Vec::new();
+            let mut j = i + 2;
+            while j < ch.len() && !is_punct(src, toks, &ch[j], ",") {
+                vals.push(&ch[j]);
+                j += 1;
+            }
+            return Some(vals);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn check_one_frame(
+    f: &SourceFile,
+    src: &str,
+    body: &Group,
+    line: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &f.toks;
+    let diag = |line: usize, message: String| Diagnostic {
+        rule: "KVS-L011",
+        path: f.rel.clone(),
+        line,
+        message,
+    };
+    let kind_text = field_value(src, toks, body, "kind")
+        .map(|vals| {
+            vals.iter()
+                .map(|t| tree::text_of(src, toks, std::slice::from_ref(*t)))
+                .collect::<String>()
+        })
+        .unwrap_or_default();
+    let Some(stamp_vals) = field_value(src, toks, body, "stamps") else {
+        return; // update syntax / destructuring: nothing to check
+    };
+    let [Tree::Group(arr)] = stamp_vals.as_slice() else {
+        out.push(diag(
+            line,
+            "stamps must be a 4-element array literal written once at construction".to_string(),
+        ));
+        return;
+    };
+    if arr.delim != Delim::Bracket {
+        return;
+    }
+    let stamp_line = toks[arr.open].line;
+    // Split the array elements on `,`.
+    let mut slots: Vec<String> = Vec::new();
+    let mut cur: Vec<&Tree> = Vec::new();
+    for t in &arr.children {
+        if is_punct(src, toks, t, ",") {
+            slots.push(slot_text(src, toks, &cur));
+            cur.clear();
+        } else {
+            cur.push(t);
+        }
+    }
+    if !cur.is_empty() {
+        slots.push(slot_text(src, toks, &cur));
+    }
+    if slots.len() != 4 {
+        out.push(diag(
+            stamp_line,
+            format!(
+                "stamps literal has {} slot(s) — the stage decomposition needs exactly 4",
+                slots.len()
+            ),
+        ));
+        return;
+    }
+    let kind = kind_text
+        .rsplit("FrameKind::")
+        .next()
+        .filter(|_| kind_text.contains("FrameKind::"))
+        .unwrap_or("")
+        .to_string();
+    match kind.as_str() {
+        "Request" => {
+            for (i, name) in ["issue", "send", "send-seq"].iter().enumerate() {
+                if slots[i] == "0" {
+                    out.push(diag(
+                        stamp_line,
+                        format!(
+                            "request stamps[{i}] ({name}) is a literal 0 — the master must \
+                             write it before encode"
+                        ),
+                    ));
+                }
+            }
+            if slots[3] != "0" {
+                out.push(diag(
+                    stamp_line,
+                    "request stamps[3] must be the literal 0 — it belongs to the slave side \
+                     of the exchange"
+                        .to_string(),
+                ));
+            }
+        }
+        "Response" => {
+            for (i, name) in ["send echo", "dequeue", "in-db end", "slave send"]
+                .iter()
+                .enumerate()
+            {
+                if slots[i] == "0" {
+                    out.push(diag(
+                        stamp_line,
+                        format!(
+                            "response stamps[{i}] ({name}) is a literal 0 — a dropped stage \
+                             stamp silently degrades the per-stage model fit"
+                        ),
+                    ));
+                }
+            }
+            let mut uniq: BTreeSet<&str> = BTreeSet::new();
+            for (i, s) in slots.iter().enumerate() {
+                if !uniq.insert(s.as_str()) {
+                    out.push(diag(
+                        stamp_line,
+                        format!(
+                            "response stamps[{i}] duplicates another slot (`{s}`) — each \
+                             stage boundary is written exactly once"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Busy / Expired / a kind passed as a parameter: only the echoed
+        // request-send stamp is mandatory.
+        _ => {
+            if slots[0] == "0" {
+                out.push(diag(
+                    stamp_line,
+                    "stamps[0] must echo the request's send time — a literal 0 erases the \
+                     round-trip correlation"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn slot_text(src: &str, toks: &[Tok], trees: &[&Tree]) -> String {
+    let mut s = String::new();
+    for t in trees {
+        s.push_str(&tree::text_of(src, toks, std::slice::from_ref(*t)));
+    }
+    s
+}
+
+fn check_stage_completeness(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let mut present: BTreeMap<&str, usize> = BTreeMap::new();
+    for (n, l) in f.numbered() {
+        if l.in_test {
+            continue;
+        }
+        for s in STAGES {
+            if l.code.contains(s) {
+                present.entry(s).or_insert(n);
+            }
+        }
+    }
+    if present.is_empty() || present.len() == STAGES.len() {
+        return;
+    }
+    let first = *present.values().min().expect("non-empty");
+    let missing: Vec<&str> = STAGES
+        .iter()
+        .filter(|s| !present.contains_key(**s))
+        .copied()
+        .collect();
+    out.push(Diagnostic {
+        rule: "KVS-L011",
+        path: f.rel.clone(),
+        line: first,
+        message: format!(
+            "stage decomposition incomplete: this file records some stages but not {} — \
+             the per-stage model loses a term",
+            missing.join(", ")
+        ),
+    });
+}
+
+fn check_stamp_mutations(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (n, l) in f.numbered() {
+        if l.in_test {
+            continue;
+        }
+        let code = &l.code;
+        let Some(p) = code.find(".stamps[") else {
+            continue;
+        };
+        let Some(close) = code[p..].find(']') else {
+            continue;
+        };
+        let after = code[p + close + 1..].trim_start();
+        if after.starts_with('=') && !after.starts_with("==") {
+            out.push(Diagnostic {
+                rule: "KVS-L011",
+                path: f.rel.clone(),
+                line: n,
+                message: "post-construction write to a stamps slot — each slot is written \
+                          exactly once, at frame construction, so no stage can be stamped \
+                          twice or lost"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KVS-L012: frame-kind exhaustiveness.
+// ---------------------------------------------------------------------------
+
+fn kind_scope(rel: &str) -> bool {
+    rel.starts_with("crates/net/src/")
+        && (rel.ends_with("/master.rs")
+            || rel.ends_with("/server.rs")
+            || rel.ends_with("/chaos.rs"))
+}
+
+/// Variant names of `enum FrameKind` in `frame.rs`, in declaration order.
+fn frame_kind_variants(ws: &Workspace) -> Option<Vec<String>> {
+    let f = ws
+        .files
+        .iter()
+        .find(|f| f.rel == "crates/net/src/frame.rs")?;
+    let src = f.text.as_str();
+    let trees = tree::build(src, &f.toks);
+    variants_in(src, &f.toks, &trees)
+}
+
+fn variants_in(src: &str, toks: &[Tok], trees: &[Tree]) -> Option<Vec<String>> {
+    for (i, t) in trees.iter().enumerate() {
+        if leaf_text(src, toks, t) == Some("enum")
+            && leaf_text(src, toks, trees.get(i + 1)?) == Some("FrameKind")
+        {
+            if let Some(Tree::Group(g)) = trees.get(i + 2) {
+                let mut names = Vec::new();
+                let mut take_next = true;
+                for c in &g.children {
+                    if is_punct(src, toks, c, ",") {
+                        take_next = true;
+                    } else if take_next && is_ident(src, toks, c) {
+                        names.push(leaf_text(src, toks, c)?.to_string());
+                        take_next = false;
+                    }
+                }
+                return Some(names);
+            }
+        }
+        if let Tree::Group(g) = t {
+            if let Some(v) = variants_in(src, toks, &g.children) {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+fn kind_exhaustiveness(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(kinds) = frame_kind_variants(ws) else {
+        return; // fixture trees without a frame.rs skip the rule
+    };
+    for f in &ws.files {
+        if !kind_scope(&f.rel) {
+            continue;
+        }
+        let src = f.text.as_str();
+        let trees = tree::build(src, &f.toks);
+        check_matches(f, src, &trees, &kinds, out);
+    }
+}
+
+fn check_matches(
+    f: &SourceFile,
+    src: &str,
+    trees: &[Tree],
+    kinds: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &f.toks;
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            check_matches(f, src, &g.children, kinds, out);
+        }
+        if leaf_text(src, toks, t) != Some("match") {
+            continue;
+        }
+        let line = leaf_line(toks, t);
+        if f.line_in_test(line) {
+            continue;
+        }
+        // The match body: the next brace group among the siblings.
+        let Some(body) = trees[i + 1..].iter().find_map(|t| match t {
+            Tree::Group(g) if g.delim == Delim::Brace => Some(g),
+            _ => None,
+        }) else {
+            continue;
+        };
+        let arms = arm_patterns(src, toks, body);
+        if !arms.iter().any(|p| p.contains("FrameKind::")) {
+            continue; // not a frame-kind match (codec kinds, byte values…)
+        }
+        let named: Vec<&String> = kinds
+            .iter()
+            .filter(|k| arms.iter().any(|p| p.contains(&format!("FrameKind::{k}"))))
+            .collect();
+        let has_wildcard = arms.iter().any(|p| {
+            let p = p.trim();
+            p == "_" || p.chars().all(|c| c.is_alphanumeric() || c == '_') && !p.is_empty()
+        });
+        let missing: Vec<&String> = kinds.iter().filter(|k| !named.contains(k)).collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let list = missing
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        if has_wildcard {
+            out.push(Diagnostic {
+                rule: "KVS-L012",
+                path: f.rel.clone(),
+                line,
+                message: format!(
+                    "wildcard arm hides frame kind(s) {list} — name every kind so a new \
+                     FrameKind cannot be silently swallowed, or waive the wildcard"
+                ),
+            });
+        } else {
+            out.push(Diagnostic {
+                rule: "KVS-L012",
+                path: f.rel.clone(),
+                line,
+                message: format!("frame-kind match does not handle {list} and has no wildcard arm"),
+            });
+        }
+    }
+}
+
+/// The pattern text of each arm in a match body: tokens up to `=>`, with
+/// arm bodies (block or expression-until-`,`) skipped.
+fn arm_patterns(src: &str, toks: &[Tok], body: &Group) -> Vec<String> {
+    let ch = &body.children;
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < ch.len() {
+        // Collect the pattern until `=>`.
+        let start = i;
+        let mut fat_arrow = None;
+        while i < ch.len() {
+            if is_punct(src, toks, &ch[i], "=")
+                && ch.get(i + 1).is_some_and(|t| is_punct(src, toks, t, ">"))
+            {
+                fat_arrow = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        let Some(arrow) = fat_arrow else {
+            break;
+        };
+        arms.push(
+            ch[start..arrow]
+                .iter()
+                .map(|t| tree::text_of(src, toks, std::slice::from_ref(t)))
+                .collect::<String>(),
+        );
+        i = arrow + 2;
+        // Skip the arm body: a block ends the arm; otherwise scan to `,`.
+        if let Some(Tree::Group(g)) = ch.get(i) {
+            if g.delim == Delim::Brace {
+                i += 1;
+                if ch.get(i).is_some_and(|t| is_punct(src, toks, t, ",")) {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        while i < ch.len() && !is_punct(src, toks, &ch[i], ",") {
+            i += 1;
+        }
+        i += 1;
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Workspace;
+    use crate::scan::SourceFile;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(rel, text)| SourceFile::scan(rel, text))
+                .collect(),
+            net_md: None,
+        }
+    }
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        run(&ws_of(files), &mut out);
+        out
+    }
+
+    #[test]
+    fn inconsistent_lock_order_is_a_cycle() {
+        let src = "pub fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); drop(gb); drop(ga); }\n\
+                   pub fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); drop(ga); drop(gb); }\n";
+        let out = run_on(&[("crates/net/src/x.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "KVS-L009");
+        assert!(
+            out[0].message.contains("net:a -> net:b"),
+            "{}",
+            out[0].message
+        );
+        assert!(
+            out[0].message.contains("net:b -> net:a"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_and_temporaries_are_clean() {
+        let src = "pub fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); drop(gb); drop(ga); }\n\
+                   pub fn g(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); drop(gb); drop(ga); }\n\
+                   pub fn h(s: &S) { s.a.lock().push(1); s.b.lock().push(2); }\n";
+        assert!(run_on(&[("crates/net/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn spawn_closures_are_isolated_threads() {
+        let src = "pub fn f(s: &S) { let g = s.registry.lock();\n\
+                   g.push(std::thread::spawn(move || { let h = s.other.lock(); drop(h); }));\n\
+                   drop(g); }\n\
+                   pub fn k(s: &S) { let h = s.other.lock(); let g2 = s.registry.lock(); drop(g2); drop(h); }\n";
+        assert!(run_on(&[("crates/net/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn call_propagation_reaches_one_level() {
+        let src = "fn inner(s: &S) { let gb = s.b.lock(); drop(gb); }\n\
+                   pub fn f(s: &S) { let ga = s.a.lock(); inner(s); drop(ga); }\n\
+                   pub fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); drop(ga); drop(gb); }\n";
+        let out = run_on(&[("crates/net/src/x.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(
+            out[0].message.contains("via call to inner()"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn unbounded_and_undrained_channels_are_flagged() {
+        let src = "pub fn leak() {\n    let (tx, rx) = crossbeam::channel::unbounded::<u64>();\n    tx.send(1).ok();\n}\n";
+        let out = run_on(&[("crates/cluster/src/x.rs", src)]);
+        assert_eq!(out.len(), 2, "{out:#?}");
+        assert!(out.iter().all(|d| d.rule == "KVS-L010"));
+        let src_ok = "pub fn ok() {\n    let (tx, rx) = crossbeam::channel::bounded::<u64>(8);\n    tx.send(1).ok();\n    while let Ok(v) = rx.recv() { drop(v); }\n}\n";
+        assert!(run_on(&[("crates/cluster/src/x.rs", src_ok)]).is_empty());
+    }
+
+    #[test]
+    fn dropped_stage_stamp_is_flagged() {
+        let src = "fn reply() -> Frame { Frame { kind: FrameKind::Response, id: 7,\n\
+                   stamps: [first, dequeued, 0, wall_ns()], payload: p } }\n";
+        let out = run_on(&[("crates/net/src/server.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "KVS-L011");
+        assert!(out[0].message.contains("in-db end"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn request_and_refusal_stamp_contracts_hold() {
+        let src = "fn send() -> Frame { Frame { kind: FrameKind::Request,\n\
+                   stamps: [issued, sent, seq, 0] } }\n\
+                   fn refuse(kind: FrameKind) -> Frame { Frame { kind,\n\
+                   stamps: [echo, wall_ns(), 0, 0] } }\n";
+        assert!(run_on(&[("crates/net/src/master.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn wildcard_match_on_frame_kind_is_flagged() {
+        let frame = "pub enum FrameKind { Request, Response, Busy, Expired }\n";
+        let master = "fn on(kind: FrameKind) { match kind { FrameKind::Busy => {}, _ => {} } }\n";
+        let out = run_on(&[
+            ("crates/net/src/frame.rs", frame),
+            ("crates/net/src/master.rs", master),
+        ]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "KVS-L012");
+        assert!(out[0].message.contains("Request"), "{}", out[0].message);
+        let full = "fn on(kind: FrameKind) { match kind {\n\
+                    FrameKind::Request => {}\n    FrameKind::Response => {}\n\
+                    FrameKind::Busy => {}\n    FrameKind::Expired => {}\n} }\n";
+        assert!(run_on(&[
+            ("crates/net/src/frame.rs", frame),
+            ("crates/net/src/master.rs", full),
+        ])
+        .is_empty());
+    }
+}

@@ -21,8 +21,8 @@ use crate::scan::SourceFile;
 /// One finding: a rule violated at a specific file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable rule ID (`KVS-L001` … `KVS-L008`, `KVS-L000` for waiver
-    /// errors).
+    /// Stable rule ID (`KVS-L001` … `KVS-L012`, `KVS-L000` for waiver
+    /// and baseline machinery errors).
     pub rule: &'static str,
     /// Path relative to the workspace root, `/`-separated.
     pub path: String,
@@ -76,6 +76,22 @@ pub const RULES: &[(&str, &str)] = &[
         "KVS-L008",
         "comment contracts: send-seq monotonicity and the Busy re-arm contract stay documented",
     ),
+    (
+        "KVS-L009",
+        "lock order: the acquired-while-held graph over net/cluster must be acyclic",
+    ),
+    (
+        "KVS-L010",
+        "channel topology: no unbounded channels without a waiver, no sends without a drain",
+    ),
+    (
+        "KVS-L011",
+        "stage stamps: every stamps[0..4] slot written exactly once, per the frame-kind contract",
+    ),
+    (
+        "KVS-L012",
+        "frame kinds: matches on FrameKind handle every declared kind or waive the wildcard",
+    ),
 ];
 
 /// Everything the rules look at: scanned Rust sources plus the protocol
@@ -106,6 +122,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     std_mutex_forbidden(ws, &mut out);
     lock_across_blocking(ws, &mut out);
     comment_contracts(ws, &mut out);
+    crate::passes::run(ws, &mut out);
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }

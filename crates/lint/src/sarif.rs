@@ -1,0 +1,185 @@
+//! SARIF 2.1.0 output, for CI code-scanning upload and editor ingestion.
+//!
+//! One run, one tool (`kvs-lint`), the full rule catalogue under
+//! `tool.driver.rules`, and one result per finding: still-failing
+//! findings at level `error`, baselined findings at level `warning`
+//! (visible debt, not a gate). Paths are emitted as workspace-relative
+//! `artifactLocation.uri`s, which is what the GitHub SARIF ingester
+//! expects when the checkout is the workspace root.
+
+use crate::json::{self, Value};
+use crate::rules::{Diagnostic, RULES};
+use crate::Outcome;
+
+/// The schema URI embedded in the report.
+pub const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders the outcome as a SARIF 2.1.0 document.
+pub fn render(outcome: &Outcome) -> String {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|(id, summary)| {
+            json::obj(vec![
+                ("id", json::s(id)),
+                (
+                    "shortDescription",
+                    json::obj(vec![("text", json::s(summary))]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = outcome
+        .diagnostics
+        .iter()
+        .map(|d| result(d, "error"))
+        .chain(outcome.baselined.iter().map(|d| result(d, "warning")))
+        .collect();
+    json::obj(vec![
+        ("$schema", json::s(SCHEMA)),
+        ("version", json::s("2.1.0")),
+        (
+            "runs",
+            Value::Arr(vec![json::obj(vec![
+                (
+                    "tool",
+                    json::obj(vec![(
+                        "driver",
+                        json::obj(vec![
+                            ("name", json::s("kvs-lint")),
+                            ("informationUri", json::s("docs/LINT.md")),
+                            ("rules", Value::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Arr(results)),
+            ])]),
+        ),
+    ])
+    .to_pretty()
+}
+
+fn result(d: &Diagnostic, level: &str) -> Value {
+    json::obj(vec![
+        ("ruleId", json::s(d.rule)),
+        ("level", json::s(level)),
+        ("message", json::obj(vec![("text", json::s(&d.message))])),
+        (
+            "locations",
+            Value::Arr(vec![json::obj(vec![(
+                "physicalLocation",
+                json::obj(vec![
+                    (
+                        "artifactLocation",
+                        json::obj(vec![("uri", json::s(&d.path))]),
+                    ),
+                    (
+                        "region",
+                        json::obj(vec![("startLine", Value::Num(d.line.max(1) as f64))]),
+                    ),
+                ]),
+            )])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn outcome() -> Outcome {
+        Outcome {
+            diagnostics: vec![Diagnostic {
+                rule: "KVS-L010",
+                path: "crates/net/src/x.rs".to_string(),
+                line: 12,
+                message: "unbounded channel".to_string(),
+            }],
+            baselined: vec![Diagnostic {
+                rule: "KVS-L004",
+                path: "crates/net/src/y.rs".to_string(),
+                line: 3,
+                message: "frozen unwrap".to_string(),
+            }],
+            waived: Vec::new(),
+            waiver_hits: Vec::new(),
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn report_has_the_sarif_2_1_0_shape() {
+        let doc = parse(&render(&outcome())).expect("SARIF output must be valid JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        assert!(doc
+            .get("$schema")
+            .and_then(Value::as_str)
+            .is_some_and(|s| s.contains("sarif-2.1.0")));
+        let runs = doc.get("runs").and_then(Value::as_arr).expect("runs array");
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(driver.get("name").and_then(Value::as_str), Some("kvs-lint"));
+        let rules = driver.get("rules").and_then(Value::as_arr).expect("rules");
+        assert_eq!(rules.len(), RULES.len());
+        for r in rules {
+            assert!(r.get("id").and_then(Value::as_str).is_some());
+            assert!(r
+                .get("shortDescription")
+                .and_then(|d| d.get("text"))
+                .and_then(Value::as_str)
+                .is_some());
+        }
+        let results = runs[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .expect("results");
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("level").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            results[1].get("level").and_then(Value::as_str),
+            Some("warning")
+        );
+        let loc = results[0]
+            .get("locations")
+            .and_then(Value::as_arr)
+            .expect("locations");
+        let phys = loc[0].get("physicalLocation").expect("physicalLocation");
+        assert_eq!(
+            phys.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str),
+            Some("crates/net/src/x.rs")
+        );
+        assert_eq!(
+            phys.get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Value::as_num),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn every_result_rule_id_is_declared() {
+        let doc = parse(&render(&outcome())).unwrap();
+        let runs = doc.get("runs").and_then(Value::as_arr).unwrap();
+        let declared: Vec<&str> = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|r| r.get("id").and_then(Value::as_str))
+            .collect();
+        for res in runs[0].get("results").and_then(Value::as_arr).unwrap() {
+            let id = res.get("ruleId").and_then(Value::as_str).unwrap();
+            assert!(declared.contains(&id), "undeclared ruleId {id}");
+        }
+    }
+}

@@ -25,7 +25,7 @@ use crate::rules::Diagnostic;
 /// One parsed `[[waiver]]` entry.
 #[derive(Debug, Clone)]
 pub struct Waiver {
-    /// Rule ID being waived (`KVS-L001` … `KVS-L008`).
+    /// Rule ID being waived (`KVS-L001` … `KVS-L012`).
     pub rule: String,
     /// Workspace-relative path the waiver applies to.
     pub path: String,
@@ -152,6 +152,17 @@ fn parse_string(tok: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Result of applying the waiver file to a diagnostic set.
+pub struct Applied {
+    /// Diagnostics no waiver matched, plus a `KVS-L000` per stale waiver.
+    pub failing: Vec<Diagnostic>,
+    /// Suppressed diagnostics with the justification that excused them.
+    pub waived: Vec<(Diagnostic, String)>,
+    /// How many diagnostics each waiver suppressed, parallel to the
+    /// input slice (0 ⇒ that waiver is stale). Feeds `kvs-lint waivers`.
+    pub hits: Vec<usize>,
+}
+
 /// Splits diagnostics into (still-failing, waived) and appends a
 /// `KVS-L000` diagnostic for every stale waiver. `raw_line` resolves
 /// `(path, line)` to the raw source text the waiver's `contains` is
@@ -161,8 +172,8 @@ pub fn apply(
     waivers: &[Waiver],
     waiver_file: &str,
     raw_line: impl Fn(&str, usize) -> Option<String>,
-) -> (Vec<Diagnostic>, Vec<(Diagnostic, String)>) {
-    let mut used = vec![false; waivers.len()];
+) -> Applied {
+    let mut hits = vec![0usize; waivers.len()];
     let mut failing = Vec::new();
     let mut waived = Vec::new();
     for d in diagnostics {
@@ -173,14 +184,14 @@ pub fn apply(
         });
         match hit {
             Some(ix) => {
-                used[ix] = true;
+                hits[ix] += 1;
                 waived.push((d, waivers[ix].justification.clone()));
             }
             None => failing.push(d),
         }
     }
     for (ix, w) in waivers.iter().enumerate() {
-        if !used[ix] {
+        if hits[ix] == 0 {
             failing.push(Diagnostic {
                 rule: "KVS-L000",
                 path: waiver_file.to_string(),
@@ -193,7 +204,11 @@ pub fn apply(
             });
         }
     }
-    (failing, waived)
+    Applied {
+        failing,
+        waived,
+        hits,
+    }
 }
 
 #[cfg(test)]
@@ -240,14 +255,15 @@ owner = "net"
     #[test]
     fn stale_waivers_become_l000() {
         let ws = parse(GOOD).unwrap();
-        let (failing, waived) = apply(Vec::new(), &ws, "lint.waivers.toml", |_, _| None);
-        assert!(waived.is_empty());
-        assert_eq!(failing.len(), 1);
-        assert_eq!(failing[0].rule, "KVS-L000");
+        let applied = apply(Vec::new(), &ws, "lint.waivers.toml", |_, _| None);
+        assert!(applied.waived.is_empty());
+        assert_eq!(applied.failing.len(), 1);
+        assert_eq!(applied.failing[0].rule, "KVS-L000");
+        assert_eq!(applied.hits, vec![0]);
     }
 
     #[test]
-    fn matching_waiver_suppresses_and_is_not_stale() {
+    fn matching_waiver_suppresses_and_counts_hits() {
         let ws = parse(GOOD).unwrap();
         let d = Diagnostic {
             rule: "KVS-L004",
@@ -255,10 +271,11 @@ owner = "net"
             line: 7,
             message: "m".to_string(),
         };
-        let (failing, waived) = apply(vec![d], &ws, "w.toml", |_, _| {
+        let applied = apply(vec![d], &ws, "w.toml", |_, _| {
             Some("let x = v.try_into().expect(\"4 bytes\");".to_string())
         });
-        assert!(failing.is_empty());
-        assert_eq!(waived.len(), 1);
+        assert!(applied.failing.is_empty());
+        assert_eq!(applied.waived.len(), 1);
+        assert_eq!(applied.hits, vec![1]);
     }
 }

@@ -36,6 +36,10 @@ fn each_violating_fixture_fails_with_its_rule() {
         ("l006_mutex", "KVS-L006", "crates/net/src/locks.rs"),
         ("l007_lock", "KVS-L007", "crates/net/src/srv.rs"),
         ("l008_reset", "KVS-L008", "crates/net/src/master.rs"),
+        ("l009_deadlock", "KVS-L009", "crates/net/src/locks.rs"),
+        ("l010_channel", "KVS-L010", "crates/cluster/src/chan.rs"),
+        ("l011_stamp", "KVS-L011", "crates/net/src/server.rs"),
+        ("l012_kind", "KVS-L012", "crates/net/src/master.rs"),
     ];
     for (name, rule, path) in cases {
         let outcome = kvs_lint::check_workspace(&fixture(name))
@@ -58,6 +62,35 @@ fn each_violating_fixture_fails_with_its_rule() {
         // Diagnostics carry real line numbers for `file:line` output.
         assert!(outcome.diagnostics.iter().all(|d| d.line >= 1));
     }
+}
+
+#[test]
+fn baseline_demotes_frozen_findings_without_failing() {
+    let outcome = kvs_lint::check_workspace(&fixture("baseline_ok")).expect("scan baseline_ok");
+    assert!(
+        outcome.is_clean(),
+        "frozen finding should not fail, got: {:#?}",
+        outcome.diagnostics
+    );
+    assert_eq!(outcome.baselined.len(), 1);
+    assert_eq!(outcome.baselined[0].rule, "KVS-L004");
+    assert_eq!(outcome.baselined[0].path, "crates/net/src/io.rs");
+}
+
+#[test]
+fn stale_baseline_entries_fail_as_l000() {
+    let outcome =
+        kvs_lint::check_workspace(&fixture("baseline_stale")).expect("scan baseline_stale");
+    assert!(!outcome.is_clean());
+    assert!(
+        outcome
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "KVS-L000" && d.path == "lint.baseline.json"),
+        "expected a stale-baseline KVS-L000, got: {:#?}",
+        outcome.diagnostics
+    );
+    assert!(outcome.baselined.is_empty());
 }
 
 #[test]

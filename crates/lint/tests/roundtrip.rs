@@ -1,0 +1,84 @@
+//! The tokenizer's foundational invariant, checked against the entire
+//! live workspace: concatenating the spans of `tokenize(src)` reproduces
+//! `src` byte for byte, tokens are contiguous, non-empty and carry
+//! correct line numbers. Every `.rs` file is an input — including the
+//! fixtures, which deliberately contain pathological lexing shapes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use kvs_lint::token::tokenize;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs(&p, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn tokenize_round_trips_every_workspace_file() {
+    let root = workspace_root();
+    let mut paths = Vec::new();
+    for top in ["crates", "shims"] {
+        collect_rs(&root.join(top), &mut paths);
+    }
+    assert!(
+        paths.len() > 50,
+        "expected a real workspace, found {} files under {}",
+        paths.len(),
+        root.display()
+    );
+    for path in paths {
+        let src = fs::read_to_string(&path).expect("read source file");
+        let toks = tokenize(&src);
+        // Spans are contiguous and cover the input exactly.
+        let mut pos = 0usize;
+        let mut line = 1usize;
+        for t in &toks {
+            assert_eq!(
+                t.start,
+                pos,
+                "{}: gap or overlap at byte {pos}",
+                path.display()
+            );
+            assert!(t.end > t.start, "{}: empty token at {pos}", path.display());
+            assert_eq!(
+                t.line,
+                line,
+                "{}: wrong line for token at byte {pos}",
+                path.display()
+            );
+            line += src[t.start..t.end].matches('\n').count();
+            pos = t.end;
+        }
+        assert_eq!(
+            pos,
+            src.len(),
+            "{}: trailing bytes untokenized",
+            path.display()
+        );
+        // The round-trip itself: concatenated token text == source.
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        assert_eq!(rebuilt, src, "{}: round-trip mismatch", path.display());
+    }
+}
