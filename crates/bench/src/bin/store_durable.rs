@@ -1,0 +1,241 @@
+//! Durable-store drill: the first machine-readable data point for the
+//! persistence tier's perf trajectory.
+//!
+//! Measures, on a scratch directory, the four costs the durable path
+//! added: sustained WAL+memtable ingest, memtable flush to an on-disk
+//! SSTable, tiered compaction, and point-read latency through the block
+//! cache (with the receipt's disk-block charges split out) — then kills
+//! the table and times a full crash recovery (manifest load + WAL
+//! replay). Results print human-readably and land as
+//! `target/figures/BENCH_store.json` so CI runs accumulate a comparable
+//! perf series.
+//!
+//! Scale: `KVSCALE_ELEMENTS` cells (default the paper's one million),
+//! `KVSCALE_STORE_READS` read samples (default 10 000). Fsync is `Never`
+//! throughout — the drill measures the code path, not the disk's
+//! `fdatasync` latency, and the recovery phase only needs the files, not
+//! their sync barriers.
+
+use kvs_bench::{banner, elements_from_env, figures_dir, fmt_ms};
+use kvs_store::{Cell, DurableOptions, DurableTable, FsyncPolicy, PartitionKey, TempDir};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::time::Instant;
+
+const CELLS_PER_PARTITION: u64 = 64;
+const PAYLOAD_BYTES: usize = 48;
+const KINDS: u8 = 4;
+
+fn reads_from_env() -> u64 {
+    std::env::var("KVSCALE_STORE_READS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+fn cell(clustering: u64) -> Cell {
+    Cell::new(
+        clustering,
+        (clustering % KINDS as u64) as u8,
+        vec![clustering as u8; PAYLOAD_BYTES],
+    )
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let ix = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[ix]
+}
+
+fn per_sec(count: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    banner(
+        "BENCH_store",
+        "durable tier: ingest / flush / compaction / read / recovery",
+    );
+    let cells = elements_from_env();
+    let partitions = (cells / CELLS_PER_PARTITION).max(1);
+    let reads = reads_from_env();
+    let dir = TempDir::new("bench-store");
+    // Pin the flush threshold to ~1/8 of the dataset so flush-on-threshold
+    // and compaction both have real work at any KVSCALE_ELEMENTS, not just
+    // the paper's million.
+    let cell_bytes = cell(0).encoded_len() as u64;
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Never,
+        memtable_flush_bytes: ((cells * cell_bytes) / 8).clamp(64 * 1024, 16 * 1024 * 1024)
+            as usize,
+        ..DurableOptions::default()
+    };
+
+    // Phase 1 — sustained ingest: every put is a WAL append plus a
+    // memtable insert, with flush-on-threshold firing as it would in
+    // production.
+    let (mut table, _) = DurableTable::open(dir.path(), opts.clone()).expect("open scratch store");
+    let ingest_start = Instant::now();
+    for p in 0..partitions {
+        let pk = PartitionKey::from_id(p);
+        for c in 0..CELLS_PER_PARTITION {
+            table.put(pk.clone(), cell(c)).expect("put");
+        }
+    }
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+    let ingested = partitions * CELLS_PER_PARTITION;
+    let auto_flushes = table.metrics().flushes;
+
+    // Phase 2 — one explicit flush of whatever the threshold left in the
+    // memtable, timed alone: SSTable build + write + WAL rotation +
+    // manifest commit.
+    let memtable_cells = table.memtable_cells() as u64;
+    let bytes_before = table.metrics().sst_bytes_written;
+    let flush_start = Instant::now();
+    table.flush().expect("flush");
+    let flush_secs = flush_start.elapsed().as_secs_f64();
+    let flush_bytes = table.metrics().sst_bytes_written - bytes_before;
+
+    // Phase 3 — compact every run into one generation.
+    let runs_before = table.sstable_count();
+    let bytes_before = table.metrics().sst_bytes_written;
+    let compact_start = Instant::now();
+    table.compact().expect("compact");
+    let compact_secs = compact_start.elapsed().as_secs_f64();
+    let compact_bytes = table.metrics().sst_bytes_written - bytes_before;
+
+    // Phase 4 — point reads of random partitions through the block
+    // cache; the receipt splits cold block fetches from cache hits.
+    let mut rng = StdRng::seed_from_u64(0xB_57);
+    let mut lat_us: Vec<u64> = Vec::with_capacity(reads as usize);
+    let mut disk_blocks = 0u64;
+    let mut cache_hits = 0u64;
+    let mut disk_bytes = 0u64;
+    for _ in 0..reads {
+        let pk = PartitionKey::from_id(rng.gen_range(0..partitions));
+        let read_start = Instant::now();
+        let (row, receipt) = table.get(&pk).expect("read");
+        lat_us.push(read_start.elapsed().as_micros() as u64);
+        assert_eq!(row.len() as u64, CELLS_PER_PARTITION, "short read");
+        disk_blocks += receipt.disk_blocks_read;
+        cache_hits += receipt.disk_block_cache_hits;
+        disk_bytes += receipt.disk_bytes_read;
+    }
+    lat_us.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&lat_us, 0.50),
+        percentile(&lat_us, 0.95),
+        percentile(&lat_us, 0.99),
+    );
+
+    // Phase 5 — leave a WAL tail, drop the table (a crash, minus the
+    // fsync question), and time the full recovery.
+    let tail_cells = (partitions.min(1_000)) * 2;
+    for p in 0..partitions.min(1_000) {
+        let pk = PartitionKey::from_id(p);
+        table
+            .put(pk.clone(), cell(CELLS_PER_PARTITION))
+            .expect("tail put");
+        table
+            .put(pk, cell(CELLS_PER_PARTITION + 1))
+            .expect("tail put");
+    }
+    table.sync_wal().expect("sync tail");
+    drop(table);
+    let recover_start = Instant::now();
+    let (recovered, report) = DurableTable::open(dir.path(), opts).expect("recover");
+    let recover_secs = recover_start.elapsed().as_secs_f64();
+    assert_eq!(report.wal_records_replayed, tail_cells, "tail lost");
+    assert!(report.sstables_loaded >= 1, "no SSTable recovered");
+    drop(recovered);
+
+    println!(
+        "ingest    {:>10.0} cells/s   ({} cells, {} auto-flushes, {})",
+        per_sec(ingested, ingest_secs),
+        ingested,
+        auto_flushes,
+        fmt_ms(ingest_secs * 1_000.0),
+    );
+    println!(
+        "flush     {:>10.0} MiB/s     ({} cells -> {} bytes, {})",
+        per_sec(flush_bytes, flush_secs) / (1024.0 * 1024.0),
+        memtable_cells,
+        flush_bytes,
+        fmt_ms(flush_secs * 1_000.0),
+    );
+    println!(
+        "compact   {:>10.0} MiB/s     ({} runs -> 1, {} bytes, {})",
+        per_sec(compact_bytes, compact_secs) / (1024.0 * 1024.0),
+        runs_before,
+        compact_bytes,
+        fmt_ms(compact_secs * 1_000.0),
+    );
+    println!(
+        "read      p50 {p50} µs  p95 {p95} µs  p99 {p99} µs   \
+         ({reads} reads, {disk_blocks} disk blocks, {cache_hits} cache hits)",
+    );
+    println!(
+        "recovery  {:>10.0} recs/s    ({} WAL records, {} SSTables, {})",
+        per_sec(report.wal_records_replayed, recover_secs),
+        report.wal_records_replayed,
+        report.sstables_loaded,
+        fmt_ms(recover_secs * 1_000.0),
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"store_durable\",\n",
+            "  \"cells\": {cells},\n",
+            "  \"partitions\": {partitions},\n",
+            "  \"payload_bytes\": {payload},\n",
+            "  \"fsync\": \"never\",\n",
+            "  \"ingest\": {{ \"cells_per_sec\": {ingest_rate:.0}, \"wall_ms\": {ingest_ms:.3}, ",
+            "\"auto_flushes\": {auto_flushes} }},\n",
+            "  \"flush\": {{ \"bytes_per_sec\": {flush_rate:.0}, \"wall_ms\": {flush_ms:.3}, ",
+            "\"sst_bytes\": {flush_bytes} }},\n",
+            "  \"compaction\": {{ \"bytes_per_sec\": {compact_rate:.0}, ",
+            "\"wall_ms\": {compact_ms:.3}, \"input_runs\": {runs_before} }},\n",
+            "  \"read\": {{ \"samples\": {reads}, \"p50_us\": {p50}, \"p95_us\": {p95}, ",
+            "\"p99_us\": {p99}, \"disk_blocks_read\": {disk_blocks}, ",
+            "\"disk_block_cache_hits\": {cache_hits}, \"disk_bytes_read\": {disk_bytes} }},\n",
+            "  \"recovery\": {{ \"wall_ms\": {recover_ms:.3}, ",
+            "\"wal_records_replayed\": {replayed}, \"records_per_sec\": {recover_rate:.0}, ",
+            "\"sstables_loaded\": {ssts} }}\n",
+            "}}\n",
+        ),
+        cells = ingested,
+        partitions = partitions,
+        payload = PAYLOAD_BYTES,
+        ingest_rate = per_sec(ingested, ingest_secs),
+        ingest_ms = ingest_secs * 1_000.0,
+        auto_flushes = auto_flushes,
+        flush_rate = per_sec(flush_bytes, flush_secs),
+        flush_ms = flush_secs * 1_000.0,
+        flush_bytes = flush_bytes,
+        compact_rate = per_sec(compact_bytes, compact_secs),
+        compact_ms = compact_secs * 1_000.0,
+        runs_before = runs_before,
+        reads = reads,
+        p50 = p50,
+        p95 = p95,
+        p99 = p99,
+        disk_blocks = disk_blocks,
+        cache_hits = cache_hits,
+        disk_bytes = disk_bytes,
+        recover_ms = recover_secs * 1_000.0,
+        replayed = report.wal_records_replayed,
+        recover_rate = per_sec(report.wal_records_replayed, recover_secs),
+        ssts = report.sstables_loaded,
+    );
+    let path = figures_dir().join("BENCH_store.json");
+    fs::write(&path, json).expect("write BENCH_store.json");
+    println!("\n[json] {}", path.display());
+}

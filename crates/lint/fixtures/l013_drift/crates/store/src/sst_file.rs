@@ -1,0 +1,21 @@
+//! Fixture SSTable module: constants and module-doc table agree (the
+//! drift lives in this tree's docs/STORE.md).
+//!
+//! ```text
+//! offset size field              notes
+//!      0    4 magic              0x4B535354 ("KSST")
+//!      4    1 version            1
+//!      5    3 reserved           zero
+//!      8    8 generation         newer wins merges
+//!     16    8 column_index_size  threshold the run was built with
+//!     24    8 index_off          partition index file offset
+//!     32    8 index_len          partition index length
+//!     40    8 bloom_off          bloom filter file offset
+//!     48    8 bloom_len          bloom filter length
+//!     56    8 meta_crc           fnv64 over index bytes, bloom bytes
+//!     64    8 footer_crc         fnv64 over footer bytes 0..64
+//! ```
+
+pub const SST_MAGIC: u32 = 0x4B53_5354;
+pub const SST_VERSION: u8 = 1;
+pub const SST_FOOTER_LEN: usize = 72;

@@ -1,0 +1,14 @@
+//! Fixture WAL module: constants and module-doc table agree (the drift
+//! lives in this tree's docs/STORE.md).
+//!
+//! ```text
+//! offset size field        notes
+//!      0    4 magic        0x4B57414C ("KWAL")
+//!      4    1 version      1
+//!      5    3 reserved     zero
+//!      8    8 segment_seq  must match the file name
+//! ```
+
+pub const WAL_MAGIC: u32 = 0x4B57_414C;
+pub const WAL_VERSION: u8 = 1;
+pub const WAL_HEADER_LEN: usize = 16;

@@ -128,18 +128,25 @@ pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
     }
     let files_scanned = files.len();
 
-    let net_md_path = root.join("docs").join("NET.md");
-    let net_md = if net_md_path.is_file() {
-        let text = fs::read_to_string(&net_md_path)?;
-        Some((
-            "docs/NET.md".to_string(),
+    let load_md = |name: &str| -> io::Result<Option<(String, Vec<String>)>> {
+        let path = root.join("docs").join(name);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&path)?;
+        Ok(Some((
+            format!("docs/{name}"),
             text.lines().map(str::to_string).collect(),
-        ))
-    } else {
-        None
+        )))
     };
+    let net_md = load_md("NET.md")?;
+    let store_md = load_md("STORE.md")?;
 
-    let ws = rules::Workspace { files, net_md };
+    let ws = rules::Workspace {
+        files,
+        net_md,
+        store_md,
+    };
     let raw = rules::run_all(&ws);
 
     let config_error = |line: usize, message: String, raw: Vec<Diagnostic>| -> Outcome {
@@ -206,9 +213,9 @@ pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
         if let Some(f) = ws.files.iter().find(|f| f.rel == path) {
             return f.lines.get(line.checked_sub(1)?).map(|l| l.raw.clone());
         }
-        if let Some((rel, lines)) = &ws.net_md {
-            if rel == path {
-                return lines.get(line.checked_sub(1)?).cloned();
+        for md in [&ws.net_md, &ws.store_md].into_iter().flatten() {
+            if md.0 == path {
+                return md.1.get(line.checked_sub(1)?).cloned();
             }
         }
         None

@@ -1038,6 +1038,7 @@ mod tests {
                 .map(|(rel, text)| SourceFile::scan(rel, text))
                 .collect(),
             net_md: None,
+            store_md: None,
         }
     }
 

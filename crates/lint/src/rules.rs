@@ -5,12 +5,17 @@
 //! |---|---|
 //! | KVS-L001 | determinism guard: no ambient clock/RNG where runs must replay |
 //! | KVS-L002 | protocol drift: frame constants vs the documented tables |
-//! | KVS-L003 | no `let _ =` result drops in `net`/`cluster` hot paths |
-//! | KVS-L004 | no `unwrap()`/`expect()` in `net`/`cluster` hot paths |
+//! | KVS-L003 | no `let _ =` result drops in `net`/`cluster`/persistence hot paths |
+//! | KVS-L004 | no `unwrap()`/`expect()` in `net`/`cluster`/persistence hot paths |
 //! | KVS-L005 | every `unsafe` carries a `SAFETY:` comment |
 //! | KVS-L006 | `std::sync::Mutex` forbidden where `parking_lot` is standard |
 //! | KVS-L007 | no lock guard held across a blocking socket/channel call |
 //! | KVS-L008 | comment contracts: send-seq monotonicity, Busy re-arm |
+//! | KVS-L009 | lock-order: the acquired-while-held graph must be acyclic |
+//! | KVS-L010 | channel topology: bounded channels, every sender drained |
+//! | KVS-L011 | stage stamps: every stamps slot written exactly once |
+//! | KVS-L012 | frame kinds: FrameKind matches handle every declared kind |
+//! | KVS-L013 | store-format drift: WAL/SSTable constants vs documented tables |
 //!
 //! `KVS-L000` is reserved for the waiver machinery itself (a stale waiver
 //! that matches nothing is an error — waivers must not outlive the code
@@ -21,7 +26,7 @@ use crate::scan::SourceFile;
 /// One finding: a rule violated at a specific file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable rule ID (`KVS-L001` … `KVS-L012`, `KVS-L000` for waiver
+    /// Stable rule ID (`KVS-L001` … `KVS-L013`, `KVS-L000` for waiver
     /// and baseline machinery errors).
     pub rule: &'static str,
     /// Path relative to the workspace root, `/`-separated.
@@ -54,11 +59,12 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "KVS-L003",
-        "error discipline: no `let _ =` result drops in net/cluster non-test code",
+        "error discipline: no `let _ =` result drops in net/cluster/persistence non-test code",
     ),
     (
         "KVS-L004",
-        "error discipline: no .unwrap()/.expect() in net/cluster non-test code without a waiver",
+        "error discipline: no .unwrap()/.expect() in net/cluster/persistence non-test code \
+         without a waiver",
     ),
     (
         "KVS-L005",
@@ -92,6 +98,11 @@ pub const RULES: &[(&str, &str)] = &[
         "KVS-L012",
         "frame kinds: matches on FrameKind handle every declared kind or waive the wildcard",
     ),
+    (
+        "KVS-L013",
+        "store-format drift: wal.rs/sst_file.rs constants must match their module-doc tables \
+         and docs/STORE.md",
+    ),
 ];
 
 /// Everything the rules look at: scanned Rust sources plus the protocol
@@ -102,6 +113,10 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// `docs/NET.md`, when present: `(rel_path, lines)`.
     pub net_md: Option<(String, Vec<String>)>,
+    /// `docs/STORE.md`, when present: `(rel_path, lines)` — the durable
+    /// store's on-disk format documentation the L013 drift rule diffs
+    /// against.
+    pub store_md: Option<(String, Vec<String>)>,
 }
 
 impl Workspace {
@@ -116,6 +131,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     determinism_guard(ws, &mut out);
     protocol_drift(ws, &mut out);
+    store_format_drift(ws, &mut out);
     result_drops(ws, &mut out);
     unwrap_discipline(ws, &mut out);
     unsafe_safety_comments(ws, &mut out);
@@ -154,6 +170,23 @@ fn in_deterministic_zone(rel: &str) -> bool {
 
 fn in_net_or_cluster_src(rel: &str) -> bool {
     rel.starts_with("crates/net/src/") || rel.starts_with("crates/cluster/src/")
+}
+
+/// The durable store's persistence modules: crash-safety code where a
+/// silently dropped error or a panic can lose acknowledged writes, so the
+/// error-discipline rules (L003/L004) apply with the same force as on the
+/// net/cluster hot paths.
+const PERSISTENCE_FILES: &[&str] = &[
+    "crates/store/src/block.rs",
+    "crates/store/src/wal.rs",
+    "crates/store/src/sst_file.rs",
+    "crates/store/src/manifest.rs",
+    "crates/store/src/recovery.rs",
+    "crates/store/src/durable.rs",
+];
+
+fn in_error_discipline_zone(rel: &str) -> bool {
+    in_net_or_cluster_src(rel) || PERSISTENCE_FILES.contains(&rel)
 }
 
 /// KVS-L001.
@@ -548,10 +581,334 @@ fn check_netmd_table(rel: &str, lines: &[String], layout: &FrameLayout, out: &mu
     }
 }
 
+/// One on-disk store layout pinned by KVS-L013: the source file its
+/// constants come from, the field list those constants imply, and how the
+/// documentation must restate it.
+struct StoreLayout {
+    /// `crates/store/src/…` file the constants live in.
+    src: String,
+    /// Lowercase substring identifying this layout's section heading in
+    /// `docs/STORE.md` (rows outside a matching section are ignored, so
+    /// the two tables' shared field names cannot cross-talk).
+    heading: &'static str,
+    magic: u64,
+    version: u64,
+    /// What the prose must call the structure, e.g. `72-byte footer`.
+    prose: String,
+    /// `(name, offset, size)`, offsets derived from the fixed field order.
+    fields: Vec<(&'static str, u64, u64)>,
+}
+
+/// Derives one [`StoreLayout`] from a store source file, or reports why it
+/// can't. `sizes` is the fixed field order; offsets follow from it and the
+/// `len_const` constant pins the total, so a resized field that forgets to
+/// bump the length constant is itself a finding.
+fn parse_store_layout(
+    f: &SourceFile,
+    prefix: &str,
+    len_const: &str,
+    heading: &'static str,
+    noun: &str,
+    sizes: &[(&'static str, u64)],
+    out: &mut Vec<Diagnostic>,
+) -> Option<StoreLayout> {
+    let mut get = |name: String| -> Option<u64> {
+        match parse_const(f, &name) {
+            Some((v, _)) => Some(v),
+            None => {
+                out.push(Diagnostic {
+                    rule: "KVS-L013",
+                    path: f.rel.clone(),
+                    line: 1,
+                    message: format!("could not parse `pub const {name}` — drift rule cannot run"),
+                });
+                None
+            }
+        }
+    };
+    let magic = get(format!("{prefix}_MAGIC"))?;
+    let version = get(format!("{prefix}_VERSION"))?;
+    let len = get(len_const.to_string())?;
+    let mut fields = Vec::new();
+    let mut offset = 0;
+    for &(name, size) in sizes {
+        fields.push((name, offset, size));
+        offset += size;
+    }
+    if offset != len {
+        out.push(Diagnostic {
+            rule: "KVS-L013",
+            path: f.rel.clone(),
+            line: 1,
+            message: format!(
+                "{len_const} ({len}) disagrees with the sum of the fixed field sizes \
+                 ({offset}) — a field was resized without bumping the length constant"
+            ),
+        });
+    }
+    Some(StoreLayout {
+        src: f.rel.clone(),
+        heading,
+        magic,
+        version,
+        prose: format!("{len}-byte {noun}"),
+        fields,
+    })
+}
+
+/// The ASCII table in a store module's own docs: rows look like
+/// `!      0    4 magic        0x4B57414C ("KWAL")`.
+fn check_store_moduledoc_table(f: &SourceFile, layout: &StoreLayout, out: &mut Vec<Diagnostic>) {
+    let mut seen = Vec::new();
+    for (n, l) in f.numbered() {
+        let text = l
+            .comment
+            .trim_start()
+            .trim_start_matches(['!', '/'])
+            .trim_start();
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        if toks.len() < 3 {
+            continue;
+        }
+        let Some(offset) = parse_int(toks[0]) else {
+            continue;
+        };
+        let size = parse_int(toks[1]);
+        let Some(&(name, want_off, want_size)) =
+            layout.fields.iter().find(|(fname, _, _)| *fname == toks[2])
+        else {
+            continue;
+        };
+        seen.push(name);
+        if offset != want_off {
+            out.push(Diagnostic {
+                rule: "KVS-L013",
+                path: f.rel.clone(),
+                line: n,
+                message: format!(
+                    "module-doc table: `{name}` at offset {offset}, but the constants put it \
+                     at {want_off}"
+                ),
+            });
+        }
+        if size != Some(want_size) {
+            out.push(Diagnostic {
+                rule: "KVS-L013",
+                path: f.rel.clone(),
+                line: n,
+                message: format!(
+                    "module-doc table: `{name}` sized {} bytes, but the constants say {want_size}",
+                    toks[1]
+                ),
+            });
+        }
+    }
+    for &(name, _, _) in &layout.fields {
+        if !seen.contains(&name) {
+            out.push(Diagnostic {
+                rule: "KVS-L013",
+                path: f.rel.clone(),
+                line: 1,
+                message: format!("module-doc table: field `{name}` is missing"),
+            });
+        }
+    }
+}
+
+/// The markdown tables in docs/STORE.md: each layout's rows sit under a
+/// heading naming it (`### WAL segment header`, `### SSTable footer`);
+/// rows look like `| 0 | 4 | magic | \`0x4B57414C\` (\`"KWAL"\`) |`.
+fn check_store_md(rel: &str, lines: &[String], layouts: &[StoreLayout], out: &mut Vec<Diagnostic>) {
+    let mut active: Option<usize> = None;
+    let mut seen: Vec<Vec<&str>> = layouts.iter().map(|_| Vec::new()).collect();
+    for (ix, raw) in lines.iter().enumerate() {
+        let n = ix + 1;
+        if raw.trim_start().starts_with('#') {
+            let h = raw.to_ascii_lowercase();
+            active = layouts.iter().position(|l| h.contains(l.heading));
+            continue;
+        }
+        let Some(lix) = active else {
+            continue;
+        };
+        let layout = &layouts[lix];
+        let plain = raw.replace('`', "");
+        let cells: Vec<&str> = plain
+            .trim()
+            .trim_start_matches('|')
+            .trim_end_matches('|')
+            .split('|')
+            .map(str::trim)
+            .collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let Some(offset) = parse_int(cells[0]) else {
+            continue;
+        };
+        let size = parse_int(cells[1]);
+        let notes = cells[3];
+        let Some(&(name, want_off, want_size)) = layout
+            .fields
+            .iter()
+            .find(|(fname, _, _)| *fname == cells[2])
+        else {
+            continue;
+        };
+        seen[lix].push(name);
+        let diag = |line: usize, message: String| Diagnostic {
+            rule: "KVS-L013",
+            path: rel.to_string(),
+            line,
+            message,
+        };
+        if offset != want_off {
+            out.push(diag(
+                n,
+                format!(
+                    "{} table: `{name}` documented at offset {offset}, but {} puts it at \
+                     {want_off}",
+                    layout.heading, layout.src
+                ),
+            ));
+        }
+        if size != Some(want_size) {
+            out.push(diag(
+                n,
+                format!(
+                    "{} table: `{name}` documented as {} bytes, but {} says {want_size}",
+                    layout.heading, cells[1], layout.src
+                ),
+            ));
+        }
+        match name {
+            "magic" => {
+                let want = format!("0x{:08X}", layout.magic);
+                if !notes.contains(&want) {
+                    out.push(diag(
+                        n,
+                        format!("{} table: magic notes must state {want}", layout.heading),
+                    ));
+                }
+            }
+            "version" if !notes.contains(&layout.version.to_string()) => {
+                out.push(diag(
+                    n,
+                    format!(
+                        "{} table: version notes must state {}",
+                        layout.heading, layout.version
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    let body = lines.join("\n");
+    for (lix, layout) in layouts.iter().enumerate() {
+        for &(name, _, _) in &layout.fields {
+            if !seen[lix].contains(&name) {
+                out.push(Diagnostic {
+                    rule: "KVS-L013",
+                    path: rel.to_string(),
+                    line: 1,
+                    message: format!(
+                        "{} table: field `{name}` is missing (or outside a `{}` section)",
+                        layout.heading, layout.heading
+                    ),
+                });
+            }
+        }
+        if !body.contains(&layout.prose) {
+            out.push(Diagnostic {
+                rule: "KVS-L013",
+                path: rel.to_string(),
+                line: 1,
+                message: format!(
+                    "prose must state the encoded size (`{}`) pinned by {}",
+                    layout.prose, layout.src
+                ),
+            });
+        }
+    }
+}
+
+/// KVS-L013: the durable store's format constants in `wal.rs` and
+/// `sst_file.rs` are the single source of truth; the ASCII tables in their
+/// module docs and the markdown tables in `docs/STORE.md` must agree with
+/// them byte for byte. Dormant in trees without the store sources.
+fn store_format_drift(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    const WAL_SIZES: &[(&str, u64)] = &[
+        ("magic", 4),
+        ("version", 1),
+        ("reserved", 3),
+        ("segment_seq", 8),
+    ];
+    const SST_SIZES: &[(&str, u64)] = &[
+        ("magic", 4),
+        ("version", 1),
+        ("reserved", 3),
+        ("generation", 8),
+        ("column_index_size", 8),
+        ("index_off", 8),
+        ("index_len", 8),
+        ("bloom_off", 8),
+        ("bloom_len", 8),
+        ("meta_crc", 8),
+        ("footer_crc", 8),
+    ];
+    let mut layouts = Vec::new();
+    if let Some(f) = ws.file("crates/store/src/wal.rs") {
+        if let Some(layout) = parse_store_layout(
+            f,
+            "WAL",
+            "WAL_HEADER_LEN",
+            "segment header",
+            "header",
+            WAL_SIZES,
+            out,
+        ) {
+            check_store_moduledoc_table(f, &layout, out);
+            layouts.push(layout);
+        }
+    }
+    if let Some(f) = ws.file("crates/store/src/sst_file.rs") {
+        if let Some(layout) = parse_store_layout(
+            f,
+            "SST",
+            "SST_FOOTER_LEN",
+            "footer",
+            "footer",
+            SST_SIZES,
+            out,
+        ) {
+            check_store_moduledoc_table(f, &layout, out);
+            layouts.push(layout);
+        }
+    }
+    if layouts.is_empty() {
+        return; // fixture trees without the store sources skip the rule
+    }
+    match &ws.store_md {
+        Some((rel, lines)) => check_store_md(rel, lines, &layouts, out),
+        None => {
+            for layout in &layouts {
+                out.push(Diagnostic {
+                    rule: "KVS-L013",
+                    path: layout.src.clone(),
+                    line: 1,
+                    message: "docs/STORE.md is missing — the on-disk format this file defines \
+                              must be documented there"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// KVS-L003.
 fn result_drops(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     for f in &ws.files {
-        if !in_net_or_cluster_src(&f.rel) {
+        if !in_error_discipline_zone(&f.rel) {
             continue;
         }
         for (n, l) in f.numbered() {
@@ -575,7 +932,7 @@ fn result_drops(ws: &Workspace, out: &mut Vec<Diagnostic>) {
 /// KVS-L004.
 fn unwrap_discipline(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     for f in &ws.files {
-        if !in_net_or_cluster_src(&f.rel) {
+        if !in_error_discipline_zone(&f.rel) {
             continue;
         }
         for (n, l) in f.numbered() {

@@ -40,6 +40,7 @@ fn each_violating_fixture_fails_with_its_rule() {
         ("l010_channel", "KVS-L010", "crates/cluster/src/chan.rs"),
         ("l011_stamp", "KVS-L011", "crates/net/src/server.rs"),
         ("l012_kind", "KVS-L012", "crates/net/src/master.rs"),
+        ("l013_drift", "KVS-L013", "docs/STORE.md"),
     ];
     for (name, rule, path) in cases {
         let outcome = kvs_lint::check_workspace(&fixture(name))

@@ -23,7 +23,11 @@
 //! * [`latency`] — [`LatencyTracker`]: online per-node latency histogram
 //!   + EWMA, the source of the hedge-delay quantile;
 //! * [`local`] — [`spawn_local_cluster`]: N servers on ephemeral loopback
-//!   ports with deterministic shutdown, for tests and benchmarks;
+//!   ports with deterministic shutdown, for tests and benchmarks; its
+//!   durable twin [`spawn_local_cluster_durable`] persists every node
+//!   under a directory ([`kvs_store::DurableTable`]) so a kill drops the
+//!   node's memory outright and a restart runs real crash recovery —
+//!   WAL replay, manifest load, orphan cleanup;
 //! * [`calibrate`] — [`calibrate_t_msg`]: measures the per-message master
 //!   cost on the real socket path, producing a [`kvs_model::MasterModel`]
 //!   so the Figure 11 saturation sweep can re-run on measured constants;
@@ -50,9 +54,11 @@ pub use chaos::{
 };
 pub use frame::{Frame, FrameError, FrameKind};
 pub use latency::LatencyTracker;
-pub use local::{spawn_local_cluster, LocalCluster};
+pub use local::{
+    spawn_local_cluster, spawn_local_cluster_durable, DurableClusterConfig, LocalCluster,
+};
 pub use master::{
     HedgeConfig, MissedPartition, NetConfig, NetMaster, NetRunReport, QueryMode, Route,
 };
 pub use phi::PhiAccrual;
-pub use server::{NetServerConfig, SlaveHandle, SlaveServer};
+pub use server::{NetServerConfig, NodeStore, SlaveHandle, SlaveServer};

@@ -1,4 +1,6 @@
-//! The slave server: a TCP front-end over one node's [`kvs_store::Table`].
+//! The slave server: a TCP front-end over one node's store — a RAM-only
+//! [`kvs_store::Table`] or a durable [`kvs_store::DurableTable`]
+//! (see [`NodeStore`]).
 //!
 //! Layout per server:
 //!
@@ -22,7 +24,7 @@ use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
 use crate::ioutil::{best_effort, join_logged};
 use kvs_cluster::queue::{work_queue, QueueStats, TimedPush, WorkQueue, NO_DEADLINE};
 use kvs_cluster::{Codec, QueryResponse};
-use kvs_store::Table;
+use kvs_store::{Cell, DurableTable, PartitionKey, Table};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +61,36 @@ struct Job {
     conn: Arc<Mutex<TcpStream>>,
 }
 
+/// The storage engine behind one slave server: the in-memory [`Table`] of
+/// the paper's RAM-resident experiments, or the [`DurableTable`] whose
+/// data survives a kill via WAL + SSTables + manifest (and whose restart
+/// runs *real* crash recovery instead of handing the old memory back).
+pub enum NodeStore {
+    /// RAM-only: dies with the process, handed back on shutdown.
+    Ram(Table),
+    /// WAL + on-disk SSTables: dropped on kill, recovered from disk.
+    Durable(DurableTable),
+}
+
+impl NodeStore {
+    /// Reads a whole partition. A durable-tier I/O error cannot reach the
+    /// wire (the frame protocol has no error kind a master could
+    /// distinguish from loss), so it is logged and served as an empty
+    /// partition — the master's replica failover treats it like a miss.
+    fn get(&mut self, pk: &PartitionKey) -> Vec<Cell> {
+        match self {
+            NodeStore::Ram(table) => table.get(pk).0,
+            NodeStore::Durable(table) => match table.get(pk) {
+                Ok((cells, _receipt)) => cells,
+                Err(e) => {
+                    eprintln!("kvs-net: durable read of {pk:?} failed: {e}");
+                    Vec::new()
+                }
+            },
+        }
+    }
+}
+
 /// A running slave server; dropping the handle without calling
 /// [`SlaveHandle::shutdown`] leaks the server threads, so call it.
 pub struct SlaveServer;
@@ -71,25 +103,31 @@ pub struct SlaveHandle {
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     workers: Vec<JoinHandle<()>>,
-    table: Arc<Mutex<Table>>,
+    store: Arc<Mutex<NodeStore>>,
 }
 
 impl SlaveServer {
-    /// Boots a server owning `table` on an ephemeral loopback port.
+    /// Boots a server owning a RAM-only `table` on an ephemeral loopback
+    /// port (see [`SlaveServer::spawn_store`] for the durable tier).
     pub fn spawn(table: Table, cfg: NetServerConfig) -> io::Result<SlaveHandle> {
+        SlaveServer::spawn_store(NodeStore::Ram(table), cfg)
+    }
+
+    /// Boots a server owning `store` on an ephemeral loopback port.
+    pub fn spawn_store(store: NodeStore, cfg: NetServerConfig) -> io::Result<SlaveHandle> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let (queue, source) = work_queue::<Job>(cfg.queue_depth.max(1));
-        let table = Arc::new(Mutex::new(table));
+        let store = Arc::new(Mutex::new(store));
 
         let mut workers = Vec::with_capacity(cfg.workers_per_node.max(1));
         for _ in 0..cfg.workers_per_node.max(1) {
             let source = source.clone();
-            let table = table.clone();
+            let store = store.clone();
             workers.push(std::thread::spawn(move || {
                 while let Some(job) = source.recv() {
-                    serve(&table, job);
+                    serve(&store, job);
                 }
             }));
         }
@@ -127,7 +165,7 @@ impl SlaveServer {
             accept_thread: Some(accept_thread),
             conn_threads,
             workers,
-            table,
+            store,
         })
     }
 }
@@ -235,7 +273,7 @@ fn would_block(e: &io::Error) -> bool {
 /// Work whose deadline has passed while queued is shed *before* the DB
 /// stage — the master gets an `Expired` answer instead of a result it can
 /// no longer use.
-fn serve(table: &Mutex<Table>, job: Job) {
+fn serve(store: &Mutex<NodeStore>, job: Job) {
     let dequeued = wall_ns();
     if job.frame.deadline != 0 && dequeued >= job.frame.deadline {
         reply_refusal(&job, FrameKind::Expired);
@@ -249,7 +287,7 @@ fn serve(table: &Mutex<Table>, job: Job) {
     let Some(request) = codec.decode_request(job.frame.payload.clone()) else {
         return; // checksummed frame with an undecodable body: drop it
     };
-    let (cells, _receipt) = table.lock().get(&request.partition);
+    let cells = store.lock().get(&request.partition);
     let response = QueryResponse::from_kinds(request.request_id, cells.iter().map(|c| c.kind));
     let db_end = wall_ns();
     let reply = Frame {
@@ -280,13 +318,14 @@ impl SlaveHandle {
     /// stats. Joins the accept loop, every connection reader, and the
     /// worker pool — nothing survives the call.
     pub fn shutdown(self) -> QueueStats {
-        self.shutdown_take_table().0
+        self.shutdown_take_store().0
     }
 
     /// Like [`SlaveHandle::shutdown`], but also hands back the node's
-    /// [`Table`] so a chaos harness can later restart the slave with its
-    /// data intact (see `LocalCluster::kill`/`restart`).
-    pub fn shutdown_take_table(mut self) -> (QueueStats, Table) {
+    /// [`NodeStore`]. A chaos harness keeps a RAM table for the restart;
+    /// a durable store is *dropped* on a kill — its restart must go
+    /// through real crash recovery (see `LocalCluster::kill`/`restart`).
+    pub fn shutdown_take_store(mut self) -> (QueueStats, NodeStore) {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection. If even
         // loopback connect fails the accept loop may hang — say so.
@@ -305,16 +344,16 @@ impl SlaveHandle {
         let SlaveHandle {
             queue,
             workers,
-            table,
+            store,
             ..
         } = self;
         drop(queue);
         for h in workers {
             join_logged("worker thread", h);
         }
-        let table = Arc::try_unwrap(table)
-            .unwrap_or_else(|_| panic!("table still shared after worker join"))
+        let store = Arc::try_unwrap(store)
+            .unwrap_or_else(|_| panic!("store still shared after worker join"))
             .into_inner();
-        (stats, table)
+        (stats, store)
     }
 }

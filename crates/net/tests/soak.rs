@@ -1,6 +1,6 @@
-//! Soak test: repeated query rounds with a random slave killed mid-query
-//! and restarted between rounds, for `KVSCALE_SOAK_SECS` seconds
-//! (default 60).
+//! Soak test: repeated query rounds over a *durable* cluster with a
+//! random slave killed mid-query and restarted between rounds, for
+//! `KVSCALE_SOAK_SECS` seconds (default 60).
 //!
 //! `#[ignore]`d by default — the scheduled CI lane runs it with
 //! `cargo test -p kvs-net --test soak -- --ignored`. What it pins:
@@ -12,14 +12,18 @@
 //! * **monotone frame sequence numbers** — the per-round chaos proxies
 //!   audit `stamps[2]` on every request frame and must observe zero
 //!   regressions;
-//! * **no wrong answers** — a kill with rf = 2 never loses data.
+//! * **no wrong answers** — a kill with rf = 2 never loses data, even
+//!   though a killed node's memory is dropped outright: every restart
+//!   goes through real crash recovery and must replay the seeded WAL
+//!   tail (the recovery report is asserted on every round).
 
 use kvs_cluster::data::uniform_partitions;
 use kvs_cluster::ClusterData;
 use kvs_net::{
-    spawn_local_cluster, wrap_cluster, ChaosSchedule, NetConfig, NetMaster, NetServerConfig,
+    spawn_local_cluster_durable, wrap_cluster, ChaosSchedule, DurableClusterConfig, NetConfig,
+    NetMaster, NetServerConfig,
 };
-use kvs_store::TableOptions;
+use kvs_store::{DurableOptions, FsyncPolicy, TableOptions, TempDir};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -58,8 +62,22 @@ fn kills_and_restarts_leak_nothing_and_lose_nothing() {
         TableOptions::default(),
         uniform_partitions(PARTITIONS, CELLS, 4),
     );
+    let root = TempDir::new("soak");
+    let dcfg = DurableClusterConfig {
+        root: root.path().to_path_buf(),
+        store: DurableOptions {
+            // Real fsyncs would dominate a 60 s soak; the kill path never
+            // loses the file contents, only unsynced OS buffers, and this
+            // process survives.
+            fsync: FsyncPolicy::Never,
+            ..DurableOptions::default()
+        },
+        // Two cells per partition ride the WAL so every restart has
+        // records to replay.
+        wal_tail: 2,
+    };
     let (mut cluster, routes) =
-        spawn_local_cluster(data, NetServerConfig::default()).expect("cluster boots");
+        spawn_local_cluster_durable(data, NetServerConfig::default(), dcfg).expect("cluster boots");
 
     let cfg = NetConfig {
         timeout: Duration::from_millis(100),
@@ -76,6 +94,13 @@ fn kills_and_restarts_leak_nothing_and_lose_nothing() {
         for node in 0..NODES {
             if !cluster.is_up(node) {
                 cluster.restart(node).expect("restart succeeds");
+                let report = cluster
+                    .last_recovery(node)
+                    .expect("durable restart records a recovery report");
+                assert!(
+                    report.wal_records_replayed > 0,
+                    "round {rounds}: node {node} restarted without WAL replay: {report:?}"
+                );
             }
         }
         let schedules = (0..NODES as u64)

@@ -68,6 +68,44 @@ impl BloomFilter {
         })
     }
 
+    /// Appends the filter's binary image: `m` (u64) ⋅ `k` (u32) ⋅
+    /// `inserted` (u64) ⋅ word count (u32) ⋅ the bit words (u64 each).
+    /// Used by the durable SSTable format so a loaded run keeps the exact
+    /// filter it was built with (bit-identical false positives).
+    pub fn serialize(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u64(self.m);
+        buf.put_u32(self.k);
+        buf.put_u64(self.inserted);
+        buf.put_u32(self.bits.len() as u32);
+        for w in &self.bits {
+            buf.put_u64(*w);
+        }
+    }
+
+    /// Rebuilds a filter from [`BloomFilter::serialize`] output. `None` on
+    /// truncation or an inconsistent word count.
+    pub fn deserialize(buf: &mut bytes::Bytes) -> Option<BloomFilter> {
+        use bytes::Buf;
+        if buf.len() < 8 + 4 + 8 + 4 {
+            return None;
+        }
+        let m = buf.get_u64();
+        let k = buf.get_u32();
+        let inserted = buf.get_u64();
+        let words = buf.get_u32() as usize;
+        if words != (m as usize).div_ceil(64) || buf.len() < words * 8 {
+            return None;
+        }
+        let bits = (0..words).map(|_| buf.get_u64()).collect();
+        Some(BloomFilter {
+            bits,
+            m,
+            k,
+            inserted,
+        })
+    }
+
     /// Measures the empirical false-positive rate against a sample of keys
     /// known to be absent (testing/diagnostics helper).
     pub fn empirical_fp_rate<'a>(&self, absent_keys: impl Iterator<Item = &'a [u8]>) -> f64 {
@@ -151,6 +189,34 @@ mod tests {
         let bf = BloomFilter::with_rate(100, 0.01);
         assert!(!bf.maybe_contains(b"anything"));
         assert_eq!(bf.empirical_fp_rate([b"x".as_slice()].into_iter()), 0.0);
+    }
+
+    #[test]
+    fn serialize_roundtrips_bit_identical() {
+        let mut bf = BloomFilter::with_rate(500, 0.01);
+        for i in 0..500u32 {
+            bf.insert(format!("k{i}").as_bytes());
+        }
+        let mut buf = bytes::BytesMut::new();
+        bf.serialize(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = BloomFilter::deserialize(&mut bytes).expect("roundtrip");
+        assert!(bytes.is_empty());
+        assert_eq!(back.bits, bf.bits);
+        assert_eq!(back.m, bf.m);
+        assert_eq!(back.k, bf.k);
+        assert_eq!(back.inserted(), 500);
+        // Truncations rejected.
+        let mut buf2 = bytes::BytesMut::new();
+        bf.serialize(&mut buf2);
+        let full = buf2.freeze();
+        for cut in [0usize, 10, full.len() - 1] {
+            let mut partial = full.slice(..cut);
+            assert!(
+                BloomFilter::deserialize(&mut partial).is_none(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

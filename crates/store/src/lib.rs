@@ -30,24 +30,56 @@
 //! [`ReadReceipt`] into milliseconds using the regression constants the
 //! paper published (Formula 6), so the virtual cluster's database behaves
 //! like the one the authors measured.
+//!
+//! ## The durable tier (feature `durable`)
+//!
+//! With the `durable` cargo feature the store gains a real persistence
+//! subsystem: a checksummed write-ahead log ([`wal`]), a block-based
+//! on-disk SSTable format ([`sst_file`], 4 KiB blocks, block index +
+//! bloom + footer-with-CRC), an atomically-replaced [`manifest`] naming
+//! the live runs, and crash [`recovery`] that replays the WAL and
+//! rebuilds the memtable on open. [`DurableTable`] ties them together
+//! with the same flush-on-threshold / tiered-compaction lifecycle as the
+//! in-memory [`Table`], and its reads charge disk block reads distinctly
+//! from cache hits on the [`ReadReceipt`], so the Formula 6 mechanics —
+//! including the 64 KiB column-index threshold — survive on disk. See
+//! `docs/STORE.md` for the byte-level formats.
 
+pub mod block;
 pub mod bloom;
 pub mod cache;
 pub mod compaction;
 pub mod cost;
+#[cfg(feature = "durable")]
+pub mod durable;
+#[cfg(feature = "durable")]
+pub mod manifest;
 pub mod memtable;
 pub mod receipt;
+#[cfg(feature = "durable")]
+pub mod recovery;
 pub mod schema;
+#[cfg(feature = "durable")]
+pub mod sst_file;
 pub mod sstable;
 pub mod table;
 pub mod tiering;
+#[cfg(feature = "durable")]
+pub mod wal;
 
+pub use block::BLOCK_TARGET_BYTES;
 pub use bloom::BloomFilter;
 pub use cache::Lru;
 pub use cost::CostModel;
+#[cfg(feature = "durable")]
+pub use durable::{CrashPoint, DurableMetrics, DurableOptions, DurableTable, TempDir};
 pub use memtable::Memtable;
 pub use receipt::ReadReceipt;
+#[cfg(feature = "durable")]
+pub use recovery::RecoveryReport;
 pub use schema::{Cell, PartitionKey};
 pub use sstable::{SsTable, SsTableOptions};
 pub use table::{Table, TableMetrics, TableOptions};
 pub use tiering::{StorageHierarchy, Tier};
+#[cfg(feature = "durable")]
+pub use wal::FsyncPolicy;

@@ -79,6 +79,17 @@ impl Memtable {
         self.partitions.is_empty()
     }
 
+    /// Clones the contents into `(partition, cells)` pairs in partition
+    /// order *without* draining. The durable flush builds its SSTable from
+    /// this and only clears the memtable after the manifest commit, so a
+    /// crash mid-flush loses nothing.
+    pub fn snapshot_sorted(&self) -> Vec<(PartitionKey, Vec<Cell>)> {
+        self.partitions
+            .iter()
+            .map(|(pk, cells)| (pk.clone(), cells.values().cloned().collect()))
+            .collect()
+    }
+
     /// Drains the memtable into `(partition, cells)` pairs in partition
     /// order — the input an SSTable build wants.
     pub fn drain_sorted(&mut self) -> Vec<(PartitionKey, Vec<Cell>)> {
@@ -148,6 +159,17 @@ mod tests {
         assert!(mt.is_empty());
         assert_eq!(mt.bytes(), 0);
         assert_eq!(mt.cells(), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_drain_but_keeps_contents() {
+        let mut mt = Memtable::new();
+        mt.insert(pk(2), Cell::synthetic(1, 0));
+        mt.insert(pk(1), Cell::synthetic(2, 0));
+        let snap = mt.snapshot_sorted();
+        assert_eq!(mt.cells(), 2, "snapshot must not drain");
+        assert_eq!(snap, mt.drain_sorted());
+        assert!(mt.is_empty());
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct ReadReceipt {
     pub row_cache_hit: bool,
     /// SSTables whose data pages were actually read.
     pub sstables_read: u64,
+    /// Data blocks fetched from disk (durable tier; 0 on the in-memory
+    /// path). Each one was read, checksummed and decoded.
+    pub disk_blocks_read: u64,
+    /// Data blocks served from the block cache instead of disk.
+    pub disk_block_cache_hits: u64,
+    /// Bytes fetched from disk (block payloads only, not index/footer).
+    pub disk_bytes_read: u64,
 }
 
 impl ReadReceipt {
@@ -53,6 +60,9 @@ impl ReadReceipt {
         self.memtable_hit |= other.memtable_hit;
         self.row_cache_hit |= other.row_cache_hit;
         self.sstables_read += other.sstables_read;
+        self.disk_blocks_read += other.disk_blocks_read;
+        self.disk_block_cache_hits += other.disk_block_cache_hits;
+        self.disk_bytes_read += other.disk_bytes_read;
     }
 
     /// Scan efficiency: returned / scanned (1.0 for point reads that waste
@@ -88,6 +98,9 @@ mod tests {
             cells_returned: 2,
             bytes_read: 230,
             sstables_read: 1,
+            disk_blocks_read: 3,
+            disk_block_cache_hits: 2,
+            disk_bytes_read: 4096,
             ..Default::default()
         };
         a.absorb(&b);
@@ -100,6 +113,9 @@ mod tests {
         assert!(a.memtable_hit);
         assert!(!a.row_cache_hit);
         assert_eq!(a.sstables_read, 1);
+        assert_eq!(a.disk_blocks_read, 3);
+        assert_eq!(a.disk_block_cache_hits, 2);
+        assert_eq!(a.disk_bytes_read, 4096);
     }
 
     #[test]

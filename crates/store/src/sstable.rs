@@ -15,6 +15,7 @@
 //! exactly this threshold; with the workspace's 46-byte cells the column
 //! index appears at 1425 cells here too.
 
+use crate::block::fnv64;
 use crate::bloom::BloomFilter;
 use crate::receipt::ReadReceipt;
 use crate::schema::{Cell, ClusteringKey, PartitionKey};
@@ -58,16 +59,6 @@ struct PartitionEntry {
     end: usize,
     cell_count: usize,
     column_index: Option<Vec<ColumnIndexEntry>>,
-}
-
-/// FNV-1a over a byte slice (the on-disk checksum).
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
 }
 
 /// An immutable sorted run.

@@ -246,6 +246,33 @@ impl Table {
         self.row_cache.hit_stats()
     }
 
+    /// Exports the table's full logical contents as `(partition, cells)`
+    /// pairs in partition order, merging every run and the memtable
+    /// newest-wins — the input a durable bulk-load ingests. Does not
+    /// mutate the table.
+    pub fn export_partitions(&self) -> Vec<(PartitionKey, Vec<Cell>)> {
+        let mut merged: BTreeMap<PartitionKey, BTreeMap<ClusteringKey, Cell>> = BTreeMap::new();
+        // `sstables` is ascending by generation, so later inserts win.
+        for sst in &self.sstables {
+            for (pk, cells) in sst.partitions() {
+                let slot = merged.entry(pk).or_default();
+                for cell in cells {
+                    slot.insert(cell.clustering, cell);
+                }
+            }
+        }
+        for (pk, cells) in self.memtable.snapshot_sorted() {
+            let slot = merged.entry(pk).or_default();
+            for cell in cells {
+                slot.insert(cell.clustering, cell);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(pk, cells)| (pk, cells.into_values().collect()))
+            .collect()
+    }
+
     /// Persists the table: flushes the memtable and serializes every run
     /// (see [`SsTable::serialize`]). The images plus the options are all
     /// that is needed to [`Table::restore`].
@@ -475,6 +502,25 @@ mod tests {
         let mut images: Vec<Vec<u8>> = t.snapshot().iter().map(|b| b.to_vec()).collect();
         images[0][2] ^= 0xFF;
         assert!(Table::restore(small_opts(), &images).is_none());
+    }
+
+    #[test]
+    fn export_partitions_merges_newest_wins() {
+        let mut t = Table::new(small_opts());
+        t.put(pk(1), Cell::new(7, 1, vec![1]));
+        t.flush();
+        t.put(pk(1), Cell::new(7, 2, vec![2]));
+        t.flush();
+        t.put(pk(0), Cell::synthetic(0, 0)); // stays in the memtable
+        t.put(pk(1), Cell::new(7, 3, vec![3]));
+        let parts = t.export_partitions();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, pk(0));
+        assert_eq!(parts[1].0, pk(1));
+        assert_eq!(parts[1].1.len(), 1);
+        assert_eq!(parts[1].1[0].kind, 3, "memtable version must win");
+        // Export is non-destructive and matches reads.
+        assert_eq!(t.get(&pk(1)).0, parts[1].1);
     }
 
     #[test]
