@@ -23,6 +23,7 @@
 //! Output: per-stage tables, `target/figures/chaos_drill.csv` and
 //! `target/figures/chaos_drill_straggler.csv`.
 
+use kvs_bench::json::{self, int, num, obj};
 use kvs_bench::{banner, fmt_ms, Csv};
 use kvs_cluster::config::{NodeFailure, Straggler};
 use kvs_cluster::data::uniform_partitions;
@@ -421,4 +422,54 @@ fn main() {
         ]);
     }
     csv.finish();
+
+    json::write_report(&json::report(
+        "chaos",
+        obj(vec![
+            ("nodes", int(NODES as u64)),
+            ("rf", int(RF as u64)),
+            ("partitions", int(partitions)),
+            ("cells", int(cells)),
+            ("straggler_partitions", int(straggler_partitions)),
+            ("straggle_ms", int(STRAGGLE_MS)),
+            ("straggle_p", num(STRAGGLE_P)),
+            ("hedge_after_ms", int(HEDGE_AFTER_MS)),
+            ("seed", int(SEED)),
+        ]),
+        obj(vec![
+            (
+                "blackhole",
+                obj(vec![
+                    (
+                        "measured_healthy_ms",
+                        num(healthy.result.makespan.as_millis_f64()),
+                    ),
+                    (
+                        "measured_degraded_ms",
+                        num(degraded.result.makespan.as_millis_f64()),
+                    ),
+                    ("measured_degradation_ms", num(measured_delta)),
+                    ("sim_degradation_ms", num(predicted_delta)),
+                    ("relative_error", num(relative_error)),
+                    ("failovers", int(degraded.failovers)),
+                    ("blackholed_frames", int(blackholed)),
+                ]),
+            ),
+            (
+                "straggler",
+                obj(vec![
+                    ("measured_plain_p99_ms", num(p99[0])),
+                    ("measured_hedged_p99_ms", num(p99[1])),
+                    ("sim_plain_p99_ms", num(p99[2])),
+                    ("sim_hedged_p99_ms", num(p99[3])),
+                    ("measured_improvement", num(measured_improvement)),
+                    ("sim_improvement", num(sim_improvement)),
+                    ("improvement_error", num(improvement_error)),
+                    ("hedges_sent", int(hedged.hedges_sent)),
+                    ("hedges_won", int(hedged.hedges_won)),
+                ]),
+            ),
+        ]),
+    ))
+    .expect("write BENCH_chaos.json");
 }

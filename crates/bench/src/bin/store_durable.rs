@@ -16,11 +16,11 @@
 //! `fdatasync` latency, and the recovery phase only needs the files, not
 //! their sync barriers.
 
-use kvs_bench::{banner, elements_from_env, figures_dir, fmt_ms};
+use kvs_bench::json::{self, int, num, obj, s};
+use kvs_bench::{banner, elements_from_env, fmt_ms};
 use kvs_store::{Cell, DurableOptions, DurableTable, FsyncPolicy, PartitionKey, TempDir};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fs;
 use std::time::Instant;
 
 const CELLS_PER_PARTITION: u64 = 64;
@@ -189,53 +189,64 @@ fn main() {
         fmt_ms(recover_secs * 1_000.0),
     );
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"store_durable\",\n",
-            "  \"cells\": {cells},\n",
-            "  \"partitions\": {partitions},\n",
-            "  \"payload_bytes\": {payload},\n",
-            "  \"fsync\": \"never\",\n",
-            "  \"ingest\": {{ \"cells_per_sec\": {ingest_rate:.0}, \"wall_ms\": {ingest_ms:.3}, ",
-            "\"auto_flushes\": {auto_flushes} }},\n",
-            "  \"flush\": {{ \"bytes_per_sec\": {flush_rate:.0}, \"wall_ms\": {flush_ms:.3}, ",
-            "\"sst_bytes\": {flush_bytes} }},\n",
-            "  \"compaction\": {{ \"bytes_per_sec\": {compact_rate:.0}, ",
-            "\"wall_ms\": {compact_ms:.3}, \"input_runs\": {runs_before} }},\n",
-            "  \"read\": {{ \"samples\": {reads}, \"p50_us\": {p50}, \"p95_us\": {p95}, ",
-            "\"p99_us\": {p99}, \"disk_blocks_read\": {disk_blocks}, ",
-            "\"disk_block_cache_hits\": {cache_hits}, \"disk_bytes_read\": {disk_bytes} }},\n",
-            "  \"recovery\": {{ \"wall_ms\": {recover_ms:.3}, ",
-            "\"wal_records_replayed\": {replayed}, \"records_per_sec\": {recover_rate:.0}, ",
-            "\"sstables_loaded\": {ssts} }}\n",
-            "}}\n",
-        ),
-        cells = ingested,
-        partitions = partitions,
-        payload = PAYLOAD_BYTES,
-        ingest_rate = per_sec(ingested, ingest_secs),
-        ingest_ms = ingest_secs * 1_000.0,
-        auto_flushes = auto_flushes,
-        flush_rate = per_sec(flush_bytes, flush_secs),
-        flush_ms = flush_secs * 1_000.0,
-        flush_bytes = flush_bytes,
-        compact_rate = per_sec(compact_bytes, compact_secs),
-        compact_ms = compact_secs * 1_000.0,
-        runs_before = runs_before,
-        reads = reads,
-        p50 = p50,
-        p95 = p95,
-        p99 = p99,
-        disk_blocks = disk_blocks,
-        cache_hits = cache_hits,
-        disk_bytes = disk_bytes,
-        recover_ms = recover_secs * 1_000.0,
-        replayed = report.wal_records_replayed,
-        recover_rate = per_sec(report.wal_records_replayed, recover_secs),
-        ssts = report.sstables_loaded,
-    );
-    let path = figures_dir().join("BENCH_store.json");
-    fs::write(&path, json).expect("write BENCH_store.json");
-    println!("\n[json] {}", path.display());
+    json::write_report(&json::report(
+        "store",
+        obj(vec![
+            ("cells", int(ingested)),
+            ("partitions", int(partitions)),
+            ("payload_bytes", int(PAYLOAD_BYTES as u64)),
+            ("fsync", s("never")),
+        ]),
+        obj(vec![
+            (
+                "ingest",
+                obj(vec![
+                    ("cells_per_sec", num(per_sec(ingested, ingest_secs))),
+                    ("wall_ms", num(ingest_secs * 1_000.0)),
+                    ("auto_flushes", int(auto_flushes)),
+                ]),
+            ),
+            (
+                "flush",
+                obj(vec![
+                    ("bytes_per_sec", num(per_sec(flush_bytes, flush_secs))),
+                    ("wall_ms", num(flush_secs * 1_000.0)),
+                    ("sst_bytes", int(flush_bytes)),
+                ]),
+            ),
+            (
+                "compaction",
+                obj(vec![
+                    ("bytes_per_sec", num(per_sec(compact_bytes, compact_secs))),
+                    ("wall_ms", num(compact_secs * 1_000.0)),
+                    ("input_runs", int(runs_before as u64)),
+                ]),
+            ),
+            (
+                "read",
+                obj(vec![
+                    ("samples", int(reads)),
+                    ("p50_us", int(p50)),
+                    ("p95_us", int(p95)),
+                    ("p99_us", int(p99)),
+                    ("disk_blocks_read", int(disk_blocks)),
+                    ("disk_block_cache_hits", int(cache_hits)),
+                    ("disk_bytes_read", int(disk_bytes)),
+                ]),
+            ),
+            (
+                "recovery",
+                obj(vec![
+                    ("wall_ms", num(recover_secs * 1_000.0)),
+                    ("wal_records_replayed", int(report.wal_records_replayed)),
+                    (
+                        "records_per_sec",
+                        num(per_sec(report.wal_records_replayed, recover_secs)),
+                    ),
+                    ("sstables_loaded", int(report.sstables_loaded as u64)),
+                ]),
+            ),
+        ]),
+    ))
+    .expect("write BENCH_store.json");
 }

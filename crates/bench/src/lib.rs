@@ -11,6 +11,8 @@ use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod json;
+
 /// The paper's dataset size.
 pub const PAPER_ELEMENTS: u64 = 1_000_000;
 

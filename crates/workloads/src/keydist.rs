@@ -1,0 +1,474 @@
+//! Key-distribution generators for the YCSB-style workload driver.
+//!
+//! The paper's live traffic is a single D8tree aggregation query; the
+//! HiBench Cassandra study (PAPERS.md) shows that the read/update/scan
+//! *mixes* and the key *skew* are what separate key-value workloads in
+//! practice. This module provides the three YCSB skews — [`Zipfian`]
+//! (with an incrementally extended zeta table), uniform, and
+//! [`Latest`] — plus a [`KeySpace`] that grows under sequential inserts,
+//! so the `latest` and `zipfian` skews can track a keyspace that fills
+//! while the workload runs.
+//!
+//! Everything here is deterministic for a fixed seed: generators take an
+//! explicit `&mut impl Rng` (no ambient RNG — KVS-L001), and the zeta
+//! table extension is pure summation, so identical `(seed, parameters)`
+//! always yield identical key sequences.
+
+use rand::Rng;
+
+/// Incrementally extended table of zeta partial sums
+/// `ζ(n, θ) = Σ_{i=1..n} i^{-θ}`.
+///
+/// The YCSB zipfian sampler needs `ζ(n, θ)` for the *current* keyspace
+/// size `n`; recomputing the sum from scratch every time the keyspace
+/// grows is O(n) per insert. The table instead keeps the running sum plus
+/// checkpoints every [`ZetaTable::CHECKPOINT_EVERY`] items, so growing is
+/// O(new items) and *shrinking back* (or evaluating at any historical
+/// `n`) restarts from the nearest checkpoint instead of from 1.
+#[derive(Debug, Clone)]
+pub struct ZetaTable {
+    theta: f64,
+    /// Largest `n` the running sum covers.
+    n: u64,
+    /// `ζ(self.n, θ)`.
+    value: f64,
+    /// `(n, ζ(n, θ))` at every checkpoint boundary, ascending in `n`.
+    checkpoints: Vec<(u64, f64)>,
+}
+
+impl ZetaTable {
+    /// Checkpoint spacing: one stored partial sum per this many items.
+    pub const CHECKPOINT_EVERY: u64 = 1024;
+
+    /// An empty table for exponent `theta`.
+    ///
+    /// # Panics
+    /// If `theta` is not in `[0, 1)` (the YCSB sampler's valid range).
+    pub fn new(theta: f64) -> ZetaTable {
+        assert!((0.0..1.0).contains(&theta), "theta {theta} outside [0,1)");
+        ZetaTable {
+            theta,
+            n: 0,
+            value: 0.0,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// The exponent this table was built for.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of checkpoints currently stored.
+    pub fn checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// `ζ(n, θ)`, extending or rewinding the table as needed.
+    ///
+    /// # Panics
+    /// If `n == 0` (the zipfian needs at least one item).
+    pub fn zeta(&mut self, n: u64) -> f64 {
+        assert!(n > 0, "zeta of an empty keyspace");
+        if n < self.n {
+            // Rewind: restart the running sum from the nearest checkpoint
+            // at or below n, then re-extend.
+            let ix = self.checkpoints.partition_point(|&(cn, _)| cn <= n);
+            let (start_n, start_v) = if ix == 0 {
+                (0u64, 0.0)
+            } else {
+                self.checkpoints[ix - 1]
+            };
+            self.checkpoints.truncate(ix);
+            self.n = start_n;
+            self.value = start_v;
+        }
+        while self.n < n {
+            self.n += 1;
+            self.value += (self.n as f64).powf(-self.theta);
+            if self.n.is_multiple_of(Self::CHECKPOINT_EVERY) {
+                self.checkpoints.push((self.n, self.value));
+            }
+        }
+        self.value
+    }
+}
+
+/// The YCSB zipfian generator: ranks `0..items` with
+/// `P(rank = i) = (i+1)^{-θ} / ζ(items, θ)` — rank 0 is the most popular.
+///
+/// Uses Gray et al.'s closed-form approximate inverse CDF (the algorithm
+/// YCSB ships), so sampling is O(1) after the zeta table is built, and
+/// the keyspace can grow mid-run via [`Zipfian::set_items`] without
+/// restarting the sequence.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zeta: ZetaTable,
+    zeta_n: f64,
+    zeta_2: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// A zipfian over `items` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    /// If `items == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(items: u64, theta: f64) -> Zipfian {
+        assert!(items > 0, "zipfian over an empty keyspace");
+        let mut zeta = ZetaTable::new(theta);
+        let zeta_n = zeta.zeta(items);
+        let zeta_2 = zeta.zeta(2.min(items));
+        // zeta(2) rewound the table; restore the full sum.
+        let zeta_n_check = zeta.zeta(items);
+        debug_assert!((zeta_n - zeta_n_check).abs() < 1e-9);
+        let mut z = Zipfian {
+            items,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zeta,
+            zeta_n,
+            zeta_2,
+            eta: 0.0,
+        };
+        z.eta = z.compute_eta();
+        z
+    }
+
+    fn compute_eta(&self) -> f64 {
+        (1.0 - (2.0 / self.items as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta_2 / self.zeta_n)
+    }
+
+    /// Current keyspace size.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Grows (or rewinds) the keyspace to `items`; the zeta table extends
+    /// incrementally, so calling this every operation is cheap.
+    ///
+    /// # Panics
+    /// If `items == 0`.
+    pub fn set_items(&mut self, items: u64) {
+        if items == self.items {
+            return;
+        }
+        assert!(items > 0, "zipfian over an empty keyspace");
+        self.items = items;
+        self.zeta_n = self.zeta.zeta(items);
+        self.eta = self.compute_eta();
+    }
+
+    /// Draws a rank in `0..items` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        if self.items == 1 {
+            // Consume a draw anyway so sequences stay aligned across
+            // keyspace sizes.
+            let _u: f64 = rng.gen();
+            return 0;
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+
+    /// The closed-form probability of `rank` — the expectation the
+    /// statistical tests compare empirical frequencies against.
+    pub fn rank_probability(&self, rank: u64) -> f64 {
+        assert!(rank < self.items, "rank {rank} outside 0..{}", self.items);
+        ((rank + 1) as f64).powf(-self.theta) / self.zeta_n
+    }
+
+    /// Closed-form CDF at `rank` (inclusive): `P(X ≤ rank)`.
+    pub fn rank_cdf(&mut self, rank: u64) -> f64 {
+        assert!(rank < self.items, "rank {rank} outside 0..{}", self.items);
+        let zn = self.zeta_n;
+        let partial = self.zeta.zeta(rank + 1);
+        // Evaluating a prefix rewound the table; restore the full sum.
+        self.zeta_n = self.zeta.zeta(self.items);
+        partial / zn
+    }
+}
+
+/// Spreads zipfian *ranks* over the key *ids* so the hottest keys are not
+/// all clustered at the low end of the partition space (YCSB's
+/// "scrambled zipfian"). Stable FNV-1a hash — same `(rank, items)`
+/// always maps to the same key.
+pub fn scatter(rank: u64, items: u64) -> u64 {
+    assert!(items > 0, "scatter over an empty keyspace");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rank.to_be_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h % items
+}
+
+/// The "latest" skew (YCSB workload D): a zipfian over recency, so the
+/// most recently inserted key is the most popular. Tracks a growing
+/// keyspace — pass the current size to every [`Latest::sample`].
+#[derive(Debug, Clone)]
+pub struct Latest {
+    zipf: Zipfian,
+}
+
+impl Latest {
+    /// A latest-skew generator over an initial keyspace of `items`.
+    pub fn new(items: u64, theta: f64) -> Latest {
+        Latest {
+            zipf: Zipfian::new(items, theta),
+        }
+    }
+
+    /// Draws a key id in `0..items`, skewed toward `items - 1` (the
+    /// newest key).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, items: u64) -> u64 {
+        self.zipf.set_items(items);
+        items - 1 - self.zipf.sample(rng)
+    }
+}
+
+/// A keyspace of dense integer ids `0..len` that grows under sequential
+/// inserts — the "sequential-insert keyspace" the read-latest and scan
+/// mixes exercise. Ids are never recycled and the space never shrinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySpace {
+    len: u64,
+}
+
+impl KeySpace {
+    /// A keyspace preloaded with ids `0..initial`.
+    ///
+    /// # Panics
+    /// If `initial == 0` — an empty keyspace has nothing to read.
+    pub fn new(initial: u64) -> KeySpace {
+        assert!(initial > 0, "keyspace must start non-empty");
+        KeySpace { len: initial }
+    }
+
+    /// Number of live keys (also the next id to be inserted).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Always false — see [`KeySpace::new`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Appends the next sequential key and returns its id.
+    pub fn insert(&mut self) -> u64 {
+        let id = self.len;
+        self.len += 1;
+        id
+    }
+}
+
+/// Which skew a mix draws its keys from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistKind {
+    /// Every live key equally likely.
+    Uniform,
+    /// Zipfian over scattered key ids (hot set spread across partitions).
+    Zipfian {
+        /// Skew exponent in `[0, 1)`; YCSB's default is 0.99.
+        theta: f64,
+    },
+    /// Zipfian over recency: newest keys hottest.
+    Latest {
+        /// Skew exponent in `[0, 1)`.
+        theta: f64,
+    },
+}
+
+impl DistKind {
+    /// Short stable name (used in BENCH JSON and docs tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistKind::Uniform => "uniform",
+            DistKind::Zipfian { .. } => "zipfian",
+            DistKind::Latest { .. } => "latest",
+        }
+    }
+}
+
+/// Runtime state for drawing keys from a [`DistKind`] against a (possibly
+/// growing) [`KeySpace`].
+#[derive(Debug, Clone)]
+pub struct KeyChooser {
+    kind: DistKind,
+    zipf: Option<Zipfian>,
+    latest: Option<Latest>,
+}
+
+impl KeyChooser {
+    /// A chooser for `kind` over an initial keyspace of `items`.
+    pub fn new(kind: DistKind, items: u64) -> KeyChooser {
+        let (zipf, latest) = match kind {
+            DistKind::Uniform => (None, None),
+            DistKind::Zipfian { theta } => (Some(Zipfian::new(items, theta)), None),
+            DistKind::Latest { theta } => (None, Some(Latest::new(items, theta))),
+        };
+        KeyChooser { kind, zipf, latest }
+    }
+
+    /// The distribution this chooser draws from.
+    pub fn kind(&self) -> DistKind {
+        self.kind
+    }
+
+    /// Draws a key id in `0..items`.
+    ///
+    /// # Panics
+    /// If `items == 0`.
+    pub fn next<R: Rng + ?Sized>(&mut self, rng: &mut R, items: u64) -> u64 {
+        assert!(items > 0, "choosing from an empty keyspace");
+        match self.kind {
+            DistKind::Uniform => rng.gen_range(0..items),
+            DistKind::Zipfian { .. } => {
+                let z = self.zipf.as_mut().expect("zipfian state");
+                z.set_items(items);
+                scatter(z.sample(rng), items)
+            }
+            DistKind::Latest { .. } => self
+                .latest
+                .as_mut()
+                .expect("latest state")
+                .sample(rng, items),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeta_extends_and_rewinds() {
+        let mut t = ZetaTable::new(0.5);
+        let z10 = t.zeta(10);
+        let z5000 = t.zeta(5_000);
+        assert!(z5000 > z10);
+        assert!(t.checkpoints() >= 4, "no checkpoints recorded");
+        // Rewinding must reproduce the earlier value exactly.
+        assert_eq!(t.zeta(10), z10);
+        assert_eq!(t.zeta(5_000), z5000);
+        // Against a from-scratch sum.
+        let direct: f64 = (1..=5_000u64).map(|i| (i as f64).powf(-0.5)).sum();
+        assert!((z5000 - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipfian_rank_zero_most_popular() {
+        let mut z = Zipfian::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u64; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 20_000 / 100, "rank 0 not hot");
+    }
+
+    #[test]
+    fn zipfian_growth_keeps_determinism() {
+        let seq = |grow_at: u64| {
+            let mut z = Zipfian::new(50, 0.8);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                if i == grow_at {
+                    z.set_items(80);
+                }
+                out.push(z.sample(&mut rng));
+            }
+            out
+        };
+        assert_eq!(seq(100), seq(100));
+        assert_ne!(seq(100), seq(10), "growth point must matter");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipfian::new(500, 0.99);
+        let total: f64 = (0..500).map(|r| z.rank_probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let mut z = Zipfian::new(100, 0.7);
+        let mut prev = 0.0;
+        for r in 0..100 {
+            let c = z.rank_cdf(r);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-9);
+        // The sampler still works after CDF evaluations (table restored).
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(z.sample(&mut rng) < 100);
+    }
+
+    #[test]
+    fn latest_prefers_the_newest_key() {
+        let mut l = Latest::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut newest = 0u64;
+        for _ in 0..5_000 {
+            if l.sample(&mut rng, 100) == 99 {
+                newest += 1;
+            }
+        }
+        assert!(newest > 500, "newest key drawn only {newest}/5000 times");
+    }
+
+    #[test]
+    fn keyspace_grows_sequentially() {
+        let mut ks = KeySpace::new(10);
+        assert_eq!(ks.insert(), 10);
+        assert_eq!(ks.insert(), 11);
+        assert_eq!(ks.len(), 12);
+        assert!(!ks.is_empty());
+    }
+
+    #[test]
+    fn scatter_is_stable_and_in_range() {
+        for rank in 0..1_000u64 {
+            let a = scatter(rank, 333);
+            assert!(a < 333);
+            assert_eq!(a, scatter(rank, 333));
+        }
+    }
+
+    #[test]
+    fn chooser_covers_all_kinds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for kind in [
+            DistKind::Uniform,
+            DistKind::Zipfian { theta: 0.9 },
+            DistKind::Latest { theta: 0.9 },
+        ] {
+            let mut c = KeyChooser::new(kind, 64);
+            for _ in 0..100 {
+                assert!(c.next(&mut rng, 64) < 64);
+            }
+            // Growing keyspace mid-stream.
+            for _ in 0..100 {
+                assert!(c.next(&mut rng, 128) < 128);
+            }
+        }
+    }
+}

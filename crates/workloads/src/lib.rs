@@ -21,14 +21,34 @@
 //!   medium 1 000 × 1 000, fine 10 000 × 100 over one million elements);
 //! * [`sampling`] provides the stratified row-size samples behind the
 //!   Figure 6 and Figure 7 calibrations.
+//!
+//! Beyond the paper's own query, the crate carries the seeded workload
+//! driver (ROADMAP item 4):
+//!
+//! * [`keydist`] — zipfian (precomputed zeta tables), uniform and latest
+//!   key skews plus the growing sequential-insert [`keydist::KeySpace`];
+//! * [`ycsb`] — YCSB-style operation mixes lowered to the sub-requests
+//!   the sim and socket executors issue;
+//! * [`surrogate`] — the surrogate-model DHT scenario: hit-rate and
+//!   latency of a compute cache as a simulation walk fills it.
+//!
+//! Everything here is deterministic: no clocks, no ambient RNG — every
+//! generator takes an explicit seed (KVS-L001 treats this crate as a
+//! deterministic zone).
 
 pub mod alya;
 pub mod d8tree;
 pub mod datamodels;
+pub mod keydist;
 pub mod queries;
 pub mod sampling;
+pub mod surrogate;
+pub mod ycsb;
 
 pub use alya::{AlyaConfig, Particle};
 pub use d8tree::{CubeId, D8Tree};
 pub use datamodels::DataModel;
+pub use keydist::{DistKind, KeyChooser, KeySpace, Latest, Zipfian};
 pub use queries::SpatialQuery;
+pub use surrogate::{SurrogateBackend, SurrogateConfig, SurrogateOutcome};
+pub use ycsb::{generate_ops, standard_mixes, MixSpec, Op, OpKind};

@@ -1,0 +1,411 @@
+//! YCSB-style operation mixes and their expansion into sub-requests.
+//!
+//! A [`MixSpec`] names an operation blend (read / update /
+//! read-modify-write / short scan / insert percentages), a key skew
+//! ([`DistKind`]) and a scan-length cap; [`generate_ops`] turns one into
+//! a deterministic operation sequence over a [`KeySpace`] that grows as
+//! inserts land. [`expand_requests`] then lowers each operation to the
+//! partition sub-requests the two executors (`cluster::sim` and
+//! `kvs-net`'s `NetMaster`) actually issue.
+//!
+//! ## Read-path emulation (why updates become reads)
+//!
+//! The wire protocol and the simulator both model the paper's read-only
+//! aggregation query — there is no write request kind on frame v2. The
+//! driver therefore *emulates* mutating operations on the read path, and
+//! documents it (docs/WORKLOADS.md):
+//!
+//! * an **update** issues one sub-request to the updated partition — the
+//!   same route, queue, and service shape a write coordinator would pay,
+//!   minus the memtable append (which is orders of magnitude cheaper
+//!   than the network + queue costs being measured);
+//! * a **read-modify-write** issues two sequential sub-requests to the
+//!   same partition (the read, then the write-back's round trip);
+//! * an **insert** activates the next sequential key — the keyspace
+//!   growth is visible to the `latest`/`zipfian` skews immediately — and
+//!   issues one sub-request to the newly active partition. Data for the
+//!   full final keyspace is pre-provisioned by the harness
+//!   ([`max_keyspace`] bounds it), so routes exist from the start;
+//! * a **scan** of length `L` issues `L` sub-requests to consecutively
+//!   numbered partitions (the contiguous token-range read a real scan
+//!   performs), clamped so it never runs off the live keyspace.
+
+use crate::keydist::{DistKind, KeyChooser, KeySpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One workload operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read of one partition.
+    Read,
+    /// Full-row update (read-path emulated, see module docs).
+    Update,
+    /// Atomic read-modify-write of one partition.
+    ReadModifyWrite,
+    /// Short range scan starting at a key.
+    Scan,
+    /// Sequential insert of the next key.
+    Insert,
+}
+
+impl OpKind {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Update => "update",
+            OpKind::ReadModifyWrite => "rmw",
+            OpKind::Scan => "scan",
+            OpKind::Insert => "insert",
+        }
+    }
+}
+
+/// One concrete operation of a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Target key id (scan: first key of the range).
+    pub key: u64,
+    /// Number of keys a scan covers (1 for every other kind).
+    pub scan_len: u64,
+}
+
+/// Operation blend in percent. Must sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpWeights {
+    /// Point reads.
+    pub read: u32,
+    /// Updates.
+    pub update: u32,
+    /// Read-modify-writes.
+    pub rmw: u32,
+    /// Short scans.
+    pub scan: u32,
+    /// Sequential inserts.
+    pub insert: u32,
+}
+
+impl OpWeights {
+    fn total(&self) -> u32 {
+        self.read + self.update + self.rmw + self.scan + self.insert
+    }
+}
+
+/// A named YCSB-style mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixSpec {
+    /// Stable mix name (JSON key, docs table row).
+    pub name: &'static str,
+    /// Key skew the non-insert operations draw from.
+    pub dist: DistKind,
+    /// Operation blend.
+    pub weights: OpWeights,
+    /// Inclusive cap on scan length (ignored when `weights.scan == 0`).
+    pub max_scan_len: u64,
+}
+
+/// The four mixes the drill runs, patterned on the YCSB core workloads
+/// the HiBench Cassandra report exercises:
+///
+/// | mix                 | blend                    | skew            | YCSB kin |
+/// |---------------------|--------------------------|-----------------|----------|
+/// | `read_heavy`        | 95% read / 5% insert     | latest (0.99)   | D        |
+/// | `update_heavy`      | 50% read / 50% update    | zipfian (0.99)  | A        |
+/// | `read_modify_write` | 50% read / 50% RMW       | zipfian (0.99)  | F        |
+/// | `short_scans`       | 95% scan / 5% insert     | uniform, ≤ 8    | E        |
+///
+/// Between them they cover all three skews plus the sequential-insert
+/// keyspace growth (`read_heavy` and `short_scans` both grow it).
+pub fn standard_mixes() -> [MixSpec; 4] {
+    [
+        MixSpec {
+            name: "read_heavy",
+            dist: DistKind::Latest { theta: 0.99 },
+            weights: OpWeights {
+                read: 95,
+                update: 0,
+                rmw: 0,
+                scan: 0,
+                insert: 5,
+            },
+            max_scan_len: 1,
+        },
+        MixSpec {
+            name: "update_heavy",
+            dist: DistKind::Zipfian { theta: 0.99 },
+            weights: OpWeights {
+                read: 50,
+                update: 50,
+                rmw: 0,
+                scan: 0,
+                insert: 0,
+            },
+            max_scan_len: 1,
+        },
+        MixSpec {
+            name: "read_modify_write",
+            dist: DistKind::Zipfian { theta: 0.99 },
+            weights: OpWeights {
+                read: 50,
+                update: 0,
+                rmw: 50,
+                scan: 0,
+                insert: 0,
+            },
+            max_scan_len: 1,
+        },
+        MixSpec {
+            name: "short_scans",
+            dist: DistKind::Uniform,
+            weights: OpWeights {
+                read: 0,
+                update: 0,
+                rmw: 0,
+                scan: 95,
+                insert: 5,
+            },
+            max_scan_len: 8,
+        },
+    ]
+}
+
+/// Upper bound on the keyspace after `ops` operations of any mix start
+/// from `initial_keys` — the harness pre-provisions this many partitions
+/// so every insert's route exists from the start (see module docs).
+pub fn max_keyspace(initial_keys: u64, ops: u64) -> u64 {
+    initial_keys + ops
+}
+
+/// Generates the deterministic operation sequence of `spec`: `ops`
+/// operations over a keyspace starting at `initial_keys` ids. Identical
+/// `(spec, initial_keys, ops, seed)` → identical sequence.
+///
+/// # Panics
+/// If the weights don't sum to 100, `initial_keys == 0`, or a scan mix
+/// has `max_scan_len == 0`.
+pub fn generate_ops(spec: &MixSpec, initial_keys: u64, ops: u64, seed: u64) -> Vec<Op> {
+    assert_eq!(
+        spec.weights.total(),
+        100,
+        "mix {} weights must sum to 100",
+        spec.name
+    );
+    assert!(
+        spec.weights.scan == 0 || spec.max_scan_len > 0,
+        "scan mix with zero max_scan_len"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keyspace = KeySpace::new(initial_keys);
+    let mut chooser = KeyChooser::new(spec.dist, initial_keys);
+    let w = spec.weights;
+    let (t_read, t_update, t_rmw, t_scan) = (
+        w.read,
+        w.read + w.update,
+        w.read + w.update + w.rmw,
+        w.read + w.update + w.rmw + w.scan,
+    );
+    let mut out = Vec::with_capacity(ops as usize);
+    for _ in 0..ops {
+        let roll = rng.gen_range(0..100u32);
+        let op = if roll < t_read {
+            Op {
+                kind: OpKind::Read,
+                key: chooser.next(&mut rng, keyspace.len()),
+                scan_len: 1,
+            }
+        } else if roll < t_update {
+            Op {
+                kind: OpKind::Update,
+                key: chooser.next(&mut rng, keyspace.len()),
+                scan_len: 1,
+            }
+        } else if roll < t_rmw {
+            Op {
+                kind: OpKind::ReadModifyWrite,
+                key: chooser.next(&mut rng, keyspace.len()),
+                scan_len: 1,
+            }
+        } else if roll < t_scan {
+            let live = keyspace.len();
+            let start = chooser.next(&mut rng, live);
+            let want = rng.gen_range(1..=spec.max_scan_len);
+            Op {
+                kind: OpKind::Scan,
+                key: start,
+                // Clamp at the end of the live keyspace instead of
+                // wrapping: a token-range scan reads forward only.
+                scan_len: want.min(live - start),
+            }
+        } else {
+            Op {
+                kind: OpKind::Insert,
+                key: keyspace.insert(),
+                scan_len: 1,
+            }
+        };
+        out.push(op);
+    }
+    out
+}
+
+/// Lowers operations to partition sub-requests: `(op index, key id)` per
+/// request, in issue order. Reads/updates/inserts issue one request,
+/// read-modify-writes two, scans one per covered key (see module docs
+/// for the emulation contract).
+pub fn expand_requests(ops: &[Op]) -> Vec<(usize, u64)> {
+    let mut out = Vec::with_capacity(ops.len());
+    for (ix, op) in ops.iter().enumerate() {
+        match op.kind {
+            OpKind::Read | OpKind::Update | OpKind::Insert => out.push((ix, op.key)),
+            OpKind::ReadModifyWrite => {
+                out.push((ix, op.key));
+                out.push((ix, op.key));
+            }
+            OpKind::Scan => {
+                for k in op.key..op.key + op.scan_len {
+                    out.push((ix, k));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-kind operation counts of a generated stream (reporting helper).
+pub fn op_counts(ops: &[Op]) -> [(&'static str, u64); 5] {
+    let mut counts = [
+        ("read", 0u64),
+        ("update", 0),
+        ("rmw", 0),
+        ("scan", 0),
+        ("insert", 0),
+    ];
+    for op in ops {
+        let ix = match op.kind {
+            OpKind::Read => 0,
+            OpKind::Update => 1,
+            OpKind::ReadModifyWrite => 2,
+            OpKind::Scan => 3,
+            OpKind::Insert => 4,
+        };
+        counts[ix].1 += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mixes_are_well_formed() {
+        for spec in standard_mixes() {
+            assert_eq!(spec.weights.total(), 100, "{}", spec.name);
+            assert!(spec.max_scan_len >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for spec in standard_mixes() {
+            let a = generate_ops(&spec, 256, 1_000, 42);
+            let b = generate_ops(&spec, 256, 1_000, 42);
+            assert_eq!(a, b, "{} not deterministic", spec.name);
+            let c = generate_ops(&spec, 256, 1_000, 43);
+            assert_ne!(a, c, "{} ignores the seed", spec.name);
+        }
+    }
+
+    #[test]
+    fn keys_stay_inside_the_provisioned_space() {
+        for spec in standard_mixes() {
+            let ops = generate_ops(&spec, 128, 2_000, 7);
+            let bound = max_keyspace(128, 2_000);
+            for op in &ops {
+                assert!(op.key + op.scan_len <= bound, "{:?} out of bounds", op);
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_are_sequential_and_grow_the_space() {
+        let spec = standard_mixes()[0]; // read_heavy: 5% inserts
+        let ops = generate_ops(&spec, 100, 4_000, 11);
+        let inserts: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Insert)
+            .map(|o| o.key)
+            .collect();
+        // Dense ids starting right after the initial space.
+        for (i, &k) in inserts.iter().enumerate() {
+            assert_eq!(k, 100 + i as u64);
+        }
+        // ~5% of 4000 — loose binomial bounds.
+        assert!(
+            (120..=280).contains(&inserts.len()),
+            "{} inserts",
+            inserts.len()
+        );
+        // Reads reach the grown region (latest skew chases inserts).
+        assert!(
+            ops.iter().any(|o| o.kind == OpKind::Read && o.key >= 100),
+            "no read ever touched an inserted key"
+        );
+    }
+
+    #[test]
+    fn rmw_expands_to_two_requests_scans_to_len() {
+        let ops = vec![
+            Op {
+                kind: OpKind::Read,
+                key: 3,
+                scan_len: 1,
+            },
+            Op {
+                kind: OpKind::ReadModifyWrite,
+                key: 5,
+                scan_len: 1,
+            },
+            Op {
+                kind: OpKind::Scan,
+                key: 10,
+                scan_len: 3,
+            },
+        ];
+        let reqs = expand_requests(&ops);
+        assert_eq!(
+            reqs,
+            vec![(0, 3), (1, 5), (1, 5), (2, 10), (2, 11), (2, 12)]
+        );
+    }
+
+    #[test]
+    fn scans_never_run_off_the_live_space() {
+        let spec = standard_mixes()[3];
+        let ops = generate_ops(&spec, 64, 3_000, 5);
+        let mut live = 64u64;
+        for op in &ops {
+            if op.kind == OpKind::Insert {
+                live += 1;
+            }
+            if op.kind == OpKind::Scan {
+                assert!(op.scan_len >= 1);
+                assert!(op.key + op.scan_len <= live);
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_match_weights_roughly() {
+        let spec = standard_mixes()[1]; // update_heavy 50/50
+        let ops = generate_ops(&spec, 256, 10_000, 3);
+        let counts = op_counts(&ops);
+        let reads = counts[0].1 as f64;
+        let updates = counts[1].1 as f64;
+        assert!((reads / 10_000.0 - 0.5).abs() < 0.03);
+        assert!((updates / 10_000.0 - 0.5).abs() < 0.03);
+    }
+}

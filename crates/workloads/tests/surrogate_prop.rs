@@ -1,0 +1,91 @@
+//! Property tests for the surrogate-model DHT scenario.
+//!
+//! Two properties the satellite task pins down, plus the exactness law
+//! that makes the scenario analyzable at all: a step misses iff its grid
+//! key has never been seen before, so the hit/miss sequence is a pure
+//! function of the walk.
+
+use kvs_store::{CostModel, Table};
+use kvs_workloads::surrogate::{
+    prefill, probe_hits, run_surrogate, walk_keys, GridSpec, SurrogateConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A small configuration so each proptest case stays cheap.
+fn small_cfg() -> SurrogateConfig {
+    SurrogateConfig {
+        grid: GridSpec {
+            dims: 2,
+            cells_per_dim: 16,
+        },
+        steps: 512,
+        walk_step: 0.07,
+        jump_probability: 0.03,
+        compute_ms: 50.0,
+        coeff_cells: 4,
+        window: 64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hit-rate is non-decreasing in the inserted-key count: against a
+    /// fixed query list, a table pre-filled with MORE keys hits at every
+    /// position the smaller table hit (the prefix sets are nested), so
+    /// the rate can only climb.
+    #[test]
+    fn hit_rate_monotone_in_inserted_keys(seed in any::<u64>(), lo in 0u64..128,
+                                          extra in 1u64..128) {
+        let cfg = small_cfg();
+        let queries = walk_keys(&cfg, seed);
+        let hi = lo + extra;
+
+        let mut small = Table::with_defaults();
+        prefill(&mut small, &cfg, lo);
+        let small_hits = probe_hits(&mut small, &queries);
+
+        let mut large = Table::with_defaults();
+        prefill(&mut large, &cfg, hi);
+        let large_hits = probe_hits(&mut large, &queries);
+
+        for (i, (&s, &l)) in small_hits.iter().zip(&large_hits).enumerate() {
+            prop_assert!(!s || l, "query {i} hit with {lo} keys but missed with {hi}");
+        }
+        let rate = |hits: &[bool]| hits.iter().filter(|h| **h).count() as f64 / hits.len() as f64;
+        prop_assert!(rate(&large_hits) >= rate(&small_hits));
+    }
+
+    /// A replayed seed reproduces the exact hit/miss sequence (and the
+    /// per-step service charges with a deterministic cost model).
+    #[test]
+    fn replayed_seed_reproduces_hits(seed in any::<u64>()) {
+        let cfg = small_cfg();
+        let cost = CostModel::paper_cassandra().deterministic();
+        let a = run_surrogate(&cfg, &mut Table::with_defaults(), &cost, seed);
+        let b = run_surrogate(&cfg, &mut Table::with_defaults(), &cost, seed);
+        prop_assert_eq!(&a.steps, &b.steps);
+        prop_assert_eq!(a.hits, b.hits);
+        prop_assert_eq!(&a.hit_curve, &b.hit_curve);
+    }
+
+    /// Exactness: starting from an empty table, step i hits iff its key
+    /// appeared at an earlier step — the scenario is a pure function of
+    /// the walk, which is what lets `walk_keys` predict a run offline.
+    #[test]
+    fn miss_iff_first_occurrence(seed in any::<u64>()) {
+        let cfg = small_cfg();
+        let cost = CostModel::paper_cassandra().deterministic();
+        let out = run_surrogate(&cfg, &mut Table::with_defaults(), &cost, seed);
+        let keys = walk_keys(&cfg, seed);
+        prop_assert_eq!(out.steps.len(), keys.len());
+        let mut seen = BTreeSet::new();
+        for (step, &key) in out.steps.iter().zip(&keys) {
+            prop_assert_eq!(step.key, key);
+            prop_assert_eq!(step.hit, seen.contains(&key));
+            seen.insert(key);
+        }
+        prop_assert_eq!(out.unique_keys, seen.len() as u64);
+    }
+}
