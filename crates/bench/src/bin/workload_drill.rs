@@ -2,18 +2,24 @@
 //! scenario, on both execution engines.
 //!
 //! For each of the four standard mixes (`kvs_workloads::ycsb`) the drill
-//! generates one seeded operation stream, lowers it to partition
-//! sub-requests, and runs the *same* request/arrival schedule twice:
-//! once through `cluster::sim` (simulated milliseconds, paper cost
-//! model) and once over real loopback sockets via `NetMaster` (wall
-//! milliseconds). Per-operation latency re-aggregates the sub-request
-//! traces: scans take the max of their fan-out, read-modify-writes the
-//! sum of their two sequential legs. The two worlds' absolute latencies
-//! differ by design — the simulator charges 2010-era Cassandra service
-//! times, the sockets pay this machine's loopback — so the drill reports
-//! both rather than asserting closeness; the acceptance cross-check
-//! where the comparison *is* apples-to-apples (a 40 ms straggler
-//! dominating both worlds' p99) lives in `crates/net/tests/workload_mix.rs`.
+//! generates one seeded operation stream and runs the *same* arrival
+//! schedule twice. The simulated world (`cluster::sim`, paper cost
+//! model, simulated milliseconds) prices the read-path projection
+//! (`expand_requests`): every leg shaped as a request, RMW as two
+//! sequential rounds. The measured world lowers the stream to *typed*
+//! legs (`lower_ops`) and issues them over loopback sockets through the
+//! replicated write path (`NetMaster::run_mixed`): reads stay read
+//! frames, updates and inserts become real LWW `Write` frames, RMWs a
+//! single `Rmw` frame — no read-path emulation anywhere. Per-operation
+//! latency re-aggregates the legs: scans take the max of their fan-out;
+//! in the sim world an RMW is the sum of its two rounds, on the wire it
+//! is its one frame. The two worlds' absolute latencies differ by
+//! design — the simulator charges 2010-era Cassandra service times, the
+//! sockets pay this machine's loopback — so the drill reports both
+//! rather than asserting closeness; the acceptance cross-checks where
+//! the comparison *is* apples-to-apples live in
+//! `crates/net/tests/workload_mix.rs` (straggler p99) and the
+//! consistency drill (`consistency_drill`, QUORUM p99 sim-vs-sockets).
 //!
 //! The surrogate-DHT scenario (`kvs_workloads::surrogate`) then runs the
 //! same seeded walk against the RAM table and the durable tier,
@@ -34,14 +40,19 @@ use kvs_bench::json::{self, int, num, obj, s, Value};
 use kvs_bench::{banner, fmt_ms, Csv};
 use kvs_cluster::data::uniform_partitions;
 use kvs_cluster::sim::run_query_paced;
+use kvs_cluster::Consistency;
 use kvs_cluster::{ClusterConfig, ClusterData};
-use kvs_net::{spawn_local_cluster, NetConfig, NetMaster, NetServerConfig, Route};
+use kvs_net::{
+    spawn_local_cluster, MixedOp, MixedOutcome, MixedPlan, NetConfig, NetMaster, NetServerConfig,
+    Route, WriteOptions,
+};
 use kvs_simcore::SimDuration;
 use kvs_stages::{RequestTrace, Stage};
-use kvs_store::{CostModel, PartitionKey, Table, TableOptions};
+use kvs_store::{Cell, CostModel, PartitionKey, Table, TableOptions};
 use kvs_workloads::surrogate::{run_surrogate, SurrogateConfig, SurrogateOutcome};
 use kvs_workloads::ycsb::{
-    expand_requests, generate_ops, max_keyspace, standard_mixes, Op, OpKind,
+    expand_requests, generate_ops, lower_ops, max_keyspace, standard_mixes, Leg, LegKind, Op,
+    OpKind,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -56,8 +67,10 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// Re-aggregates per-request latencies into per-operation latencies:
-/// max over a fan-out (scan), sum over sequential legs (RMW).
+/// Re-aggregates the sim world's per-request latencies into
+/// per-operation latencies: max over a fan-out (scan), sum over
+/// sequential legs (RMW — the read-path projection prices it as two
+/// rounds).
 fn op_latencies_ms(ops: &[Op], op_of_request: &[usize], traces: &[RequestTrace]) -> Vec<f64> {
     let mut per_op = vec![0.0f64; ops.len()];
     for trace in traces {
@@ -98,6 +111,64 @@ fn world_obj(latencies: &[f64], stages: &[f64; 4], throughput_ops_s: f64) -> Val
         ("stages_ms", stages_obj(stages)),
         ("throughput_ops_s", num(throughput_ops_s)),
     ])
+}
+
+/// The measured world's JSON: latency plus the write-path counters that
+/// replace the read-only stage breakdown (`run_mixed` coordinates at a
+/// consistency level instead of tracing the four stages).
+fn socket_world_obj(latencies: &[f64], mixed: &MixedOutcome, throughput_ops_s: f64) -> Value {
+    obj(vec![
+        ("latency", json::latency_summary_ms(latencies)),
+        ("throughput_ops_s", num(throughput_ops_s)),
+        ("reads", int(mixed.reads)),
+        ("writes_acked", int(mixed.writes_acked)),
+        ("stale_reads", int(mixed.stale_reads)),
+        ("read_repairs", int(mixed.read_repairs)),
+        ("busy_retries", int(mixed.busy_retries)),
+    ])
+}
+
+/// Turns a typed leg into its mixed-plan operation. Every write carries
+/// one fresh 16-byte cell in a clustering range far above the seeded
+/// data, so legs never overwrite each other or the pre-loaded cells.
+fn leg_op(leg_ix: usize, leg: &Leg) -> MixedOp {
+    let cell = || {
+        Cell::new(
+            1_000_000 + leg_ix as u64,
+            (leg_ix % KINDS as usize) as u8,
+            vec![0x57; 16],
+        )
+    };
+    match leg.kind {
+        LegKind::Read => MixedOp::Read,
+        LegKind::Write => MixedOp::Write {
+            cells: vec![cell()],
+        },
+        LegKind::Rmw => MixedOp::Rmw {
+            cells: vec![cell()],
+        },
+    }
+}
+
+/// Zips the mixed outcome's completion-ordered latencies back onto the
+/// legs (the coordinator is closed-loop, so successful reads complete in
+/// plan order and acked writes likewise), then re-aggregates per
+/// operation: max over a scan's fan-out, single leg otherwise.
+/// Requires a failure-free run — the drill asserts that.
+fn op_latencies_from_mixed(ops: &[Op], legs: &[Leg], mixed: &MixedOutcome) -> Vec<f64> {
+    let mut per_op = vec![0.0f64; ops.len()];
+    let mut reads = mixed.read_latency_ms.iter();
+    let mut writes = mixed.write_latency_ms.iter();
+    for leg in legs {
+        let ms = match leg.kind {
+            LegKind::Read => *reads.next().expect("one read latency per read leg"),
+            LegKind::Write | LegKind::Rmw => {
+                *writes.next().expect("one write latency per write leg")
+            }
+        };
+        per_op[leg.op_ix] = per_op[leg.op_ix].max(ms);
+    }
+    per_op
 }
 
 fn surrogate_obj(out: &SurrogateOutcome, wall_ms: f64) -> Value {
@@ -187,7 +258,11 @@ fn main() {
         let sim_tput = ops.len() as f64 / sim.makespan.as_secs_f64().max(1e-9);
         let sim_stages = stage_means(&sim.report);
 
-        // --- Measured world: loopback sockets, same schedule. ---
+        // --- Measured world: typed legs over loopback sockets through
+        // the replicated write path, same arrival schedule. rf = 1, so
+        // consistency ONE is also ALL; the point here is the real frame
+        // kinds, not replication (consistency_drill sweeps rf and CL).
+        let legs = lower_ops(&ops);
         let data = ClusterData::load(
             nodes,
             1,
@@ -198,21 +273,34 @@ fn main() {
             spawn_local_cluster(data, NetServerConfig::default()).expect("cluster boots");
         let route_of: HashMap<&[u8], &Route> =
             all_routes.iter().map(|r| (r.key.as_bytes(), r)).collect();
-        let routes: Vec<Route> = keys
+        let plans: Vec<MixedPlan> = legs
             .iter()
-            .map(|pk| (*route_of.get(pk.as_bytes()).expect("key has a route")).clone())
+            .enumerate()
+            .map(|(leg_ix, leg)| {
+                let pk = PartitionKey::from_id(leg.key);
+                let route = (*route_of.get(pk.as_bytes()).expect("key has a route")).clone();
+                MixedPlan {
+                    route,
+                    op: leg_op(leg_ix, leg),
+                    consistency: Consistency::One,
+                }
+            })
             .collect();
-        let arrivals_ns: Vec<u64> = (0..routes.len() as u64).map(|i| i * gap_ns).collect();
+        let arrivals_ns: Vec<u64> = (0..plans.len() as u64).map(|i| i * gap_ns).collect();
         let mut master =
             NetMaster::connect(&cluster.addrs(), NetConfig::default()).expect("master connects");
-        let report = master
-            .run_with_arrivals(&routes, Some(&arrivals_ns))
+        let mixed = master
+            .run_mixed(&plans, Some(&arrivals_ns), &WriteOptions::default())
             .expect("socket run succeeds");
         master.shutdown();
         cluster.shutdown();
-        let net_lat = op_latencies_ms(&ops, &op_of_request, &report.result.traces);
-        let net_tput = ops.len() as f64 / report.result.makespan.as_secs_f64().max(1e-9);
-        let net_stages = stage_means(&report.result.report);
+        assert_eq!(
+            (mixed.reads_failed, mixed.writes_failed),
+            (0, 0),
+            "healthy loopback run must not fail legs: {mixed:?}"
+        );
+        let net_lat = op_latencies_from_mixed(&ops, &legs, &mixed);
+        let net_tput = ops.len() as f64 / (mixed.makespan_ms / 1e3).max(1e-9);
 
         let pctl = |lat: &[f64], q: f64| {
             let mut v = lat.to_vec();
@@ -228,19 +316,24 @@ fn main() {
             sim_tput,
         );
         println!(
-            "{:<18} sockets p50 {:>9}  p95 {:>9}  p99 {:>9}  ({:.0} ops/s measured)",
+            "{:<18} sockets p50 {:>9}  p95 {:>9}  p99 {:>9}  ({:.0} ops/s measured, \
+             {} writes acked)",
             "",
             fmt_ms(pctl(&net_lat, 0.50)),
             fmt_ms(pctl(&net_lat, 0.95)),
             fmt_ms(pctl(&net_lat, 0.99)),
             net_tput,
+            mixed.writes_acked,
         );
-        for (world, lat, tput) in [("sim", &sim_lat, sim_tput), ("sockets", &net_lat, net_tput)] {
+        for (world, lat, tput, nreq) in [
+            ("sim", &sim_lat, sim_tput, requests.len()),
+            ("sockets", &net_lat, net_tput, legs.len()),
+        ] {
             csv.row(&[
                 &spec.name,
                 &world,
                 &ops.len(),
-                &requests.len(),
+                &nreq,
                 &format!("{:.4}", pctl(lat, 0.50)),
                 &format!("{:.4}", pctl(lat, 0.95)),
                 &format!("{:.4}", pctl(lat, 0.99)),
@@ -252,8 +345,9 @@ fn main() {
             ("distribution", s(spec.dist.name())),
             ("ops", int(ops.len() as u64)),
             ("requests", int(requests.len() as u64)),
+            ("legs", int(legs.len() as u64)),
             ("sim", world_obj(&sim_lat, &sim_stages, sim_tput)),
-            ("sockets", world_obj(&net_lat, &net_stages, net_tput)),
+            ("sockets", socket_world_obj(&net_lat, &mixed, net_tput)),
         ]));
     }
 

@@ -20,9 +20,9 @@
 //! redundant integrity pass over every message (`verbose_stack_overhead`
 //! below).
 
-use crate::messages::{QueryRequest, QueryResponse};
+use crate::messages::{QueryRequest, QueryResponse, WriteAck, WriteRequest};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use kvs_store::PartitionKey;
+use kvs_store::{Cell, PartitionKey};
 use std::collections::BTreeMap;
 
 /// Which serialization strategy a cluster uses.
@@ -153,6 +153,8 @@ impl Codec {
                     put_str(&mut buf, "java.lang.Long");
                     buf.put_u64(count);
                 }
+                put_str(&mut buf, "version");
+                buf.put_u64(resp.version);
                 verbose_stack_overhead(&buf, "tx-resp");
             }
             CodecKind::Compact => {
@@ -164,6 +166,7 @@ impl Codec {
                     buf.put_u8(kind);
                     put_varint(&mut buf, count);
                 }
+                put_varint(&mut buf, resp.version);
             }
         }
         buf.freeze()
@@ -209,10 +212,16 @@ impl Codec {
                     }
                     counts.insert(kind, bytes.get_u64());
                 }
+                expect_str(&mut bytes, "version")?;
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                let version = bytes.get_u64();
                 Some(QueryResponse {
                     request_id,
                     counts,
                     cells,
+                    version,
                 })
             }
             CodecKind::Compact => {
@@ -230,10 +239,215 @@ impl Codec {
                     let kind = bytes.get_u8();
                     counts.insert(kind, get_varint(&mut bytes)?);
                 }
+                let version = get_varint(&mut bytes)?;
                 Some(QueryResponse {
                     request_id,
                     counts,
                     cells,
+                    version,
+                })
+            }
+        }
+    }
+
+    /// Encodes a write request (also the RMW body) to wire bytes.
+    pub fn encode_write(&self, req: &WriteRequest) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self.kind {
+            CodecKind::Verbose => {
+                put_str(&mut buf, "org.kvscale.proto.WriteRequest");
+                put_str(&mut buf, "serialVersionUID");
+                buf.put_u64(0x3CE3_CE3C_E3CE_3CE3);
+                put_str(&mut buf, "requestId");
+                buf.put_u64(req.request_id);
+                put_str(&mut buf, "partition");
+                put_bytes_field(&mut buf, req.partition.as_bytes());
+                put_str(&mut buf, "timestamp");
+                buf.put_u64(req.timestamp);
+                put_str(&mut buf, "cells");
+                put_str(&mut buf, "java.util.ArrayList");
+                buf.put_u32(req.cells.len() as u32);
+                for cell in &req.cells {
+                    put_str(&mut buf, "org.kvscale.proto.Cell");
+                    buf.put_u64(cell.clustering);
+                    buf.put_u8(cell.kind);
+                    put_bytes_field(&mut buf, &cell.payload);
+                }
+                verbose_stack_overhead(&buf, "tx-write");
+            }
+            CodecKind::Compact => {
+                buf.put_u8(CLASS_WRITE);
+                put_varint(&mut buf, req.request_id);
+                put_varint(&mut buf, req.partition.len() as u64);
+                buf.put_slice(req.partition.as_bytes());
+                put_varint(&mut buf, req.timestamp);
+                put_varint(&mut buf, req.cells.len() as u64);
+                for cell in &req.cells {
+                    put_varint(&mut buf, cell.clustering);
+                    buf.put_u8(cell.kind);
+                    put_varint(&mut buf, cell.payload.len() as u64);
+                    buf.put_slice(&cell.payload);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a write request; `None` on malformed input.
+    pub fn decode_write(&self, mut bytes: Bytes) -> Option<WriteRequest> {
+        match self.kind {
+            CodecKind::Verbose => {
+                verbose_stack_overhead(&bytes, "rx-write");
+                expect_str(&mut bytes, "org.kvscale.proto.WriteRequest")?;
+                expect_str(&mut bytes, "serialVersionUID")?;
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                bytes.get_u64();
+                expect_str(&mut bytes, "requestId")?;
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                let request_id = bytes.get_u64();
+                expect_str(&mut bytes, "partition")?;
+                let pk = get_bytes_field(&mut bytes)?;
+                expect_str(&mut bytes, "timestamp")?;
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                let timestamp = bytes.get_u64();
+                expect_str(&mut bytes, "cells")?;
+                expect_str(&mut bytes, "java.util.ArrayList")?;
+                if bytes.remaining() < 4 {
+                    return None;
+                }
+                let n = bytes.get_u32() as usize;
+                let mut cells = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    expect_str(&mut bytes, "org.kvscale.proto.Cell")?;
+                    if bytes.remaining() < 9 {
+                        return None;
+                    }
+                    let clustering = bytes.get_u64();
+                    let kind = bytes.get_u8();
+                    let payload = get_bytes_field(&mut bytes)?;
+                    cells.push(Cell::new(clustering, kind, payload));
+                }
+                Some(WriteRequest {
+                    request_id,
+                    partition: PartitionKey::new(pk),
+                    timestamp,
+                    cells,
+                })
+            }
+            CodecKind::Compact => {
+                if bytes.remaining() < 1 || bytes.get_u8() != CLASS_WRITE {
+                    return None;
+                }
+                let request_id = get_varint(&mut bytes)?;
+                let len = get_varint(&mut bytes)? as usize;
+                if bytes.remaining() < len {
+                    return None;
+                }
+                let pk = bytes.split_to(len).to_vec();
+                let timestamp = get_varint(&mut bytes)?;
+                let n = get_varint(&mut bytes)? as usize;
+                let mut cells = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let clustering = get_varint(&mut bytes)?;
+                    if bytes.remaining() < 1 {
+                        return None;
+                    }
+                    let kind = bytes.get_u8();
+                    let plen = get_varint(&mut bytes)? as usize;
+                    if bytes.remaining() < plen {
+                        return None;
+                    }
+                    let payload = bytes.split_to(plen);
+                    cells.push(Cell::new(clustering, kind, payload));
+                }
+                Some(WriteRequest {
+                    request_id,
+                    partition: PartitionKey::new(pk),
+                    timestamp,
+                    cells,
+                })
+            }
+        }
+    }
+
+    /// Encodes a write acknowledgement to wire bytes.
+    pub fn encode_write_ack(&self, ack: &WriteAck) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self.kind {
+            CodecKind::Verbose => {
+                put_str(&mut buf, "org.kvscale.proto.WriteAck");
+                put_str(&mut buf, "serialVersionUID");
+                buf.put_u64(0x4CE4_CE4C_E4CE_4CE4);
+                put_str(&mut buf, "requestId");
+                buf.put_u64(ack.request_id);
+                put_str(&mut buf, "applied");
+                buf.put_u8(ack.applied as u8);
+                put_str(&mut buf, "version");
+                buf.put_u64(ack.version);
+                verbose_stack_overhead(&buf, "tx-ack");
+            }
+            CodecKind::Compact => {
+                buf.put_u8(CLASS_WRITE_ACK);
+                put_varint(&mut buf, ack.request_id);
+                buf.put_u8(ack.applied as u8);
+                put_varint(&mut buf, ack.version);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a write acknowledgement; `None` on malformed input.
+    pub fn decode_write_ack(&self, mut bytes: Bytes) -> Option<WriteAck> {
+        match self.kind {
+            CodecKind::Verbose => {
+                verbose_stack_overhead(&bytes, "rx-ack");
+                expect_str(&mut bytes, "org.kvscale.proto.WriteAck")?;
+                expect_str(&mut bytes, "serialVersionUID")?;
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                bytes.get_u64();
+                expect_str(&mut bytes, "requestId")?;
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                let request_id = bytes.get_u64();
+                expect_str(&mut bytes, "applied")?;
+                if bytes.remaining() < 1 {
+                    return None;
+                }
+                let applied = bytes.get_u8() != 0;
+                expect_str(&mut bytes, "version")?;
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                let version = bytes.get_u64();
+                Some(WriteAck {
+                    request_id,
+                    applied,
+                    version,
+                })
+            }
+            CodecKind::Compact => {
+                if bytes.remaining() < 1 || bytes.get_u8() != CLASS_WRITE_ACK {
+                    return None;
+                }
+                let request_id = get_varint(&mut bytes)?;
+                if bytes.remaining() < 1 {
+                    return None;
+                }
+                let applied = bytes.get_u8() != 0;
+                let version = get_varint(&mut bytes)?;
+                Some(WriteAck {
+                    request_id,
+                    applied,
+                    version,
                 })
             }
         }
@@ -242,6 +456,8 @@ impl Codec {
 
 const CLASS_REQUEST: u8 = 0x01;
 const CLASS_RESPONSE: u8 = 0x02;
+const CLASS_WRITE: u8 = 0x03;
+const CLASS_WRITE_ACK: u8 = 0x04;
 
 /// How many per-message passes the verbose stack makes over each message:
 /// serializer field logging, transport trace logging, an integrity
@@ -440,5 +656,71 @@ mod tests {
             let bytes = codec.encode_response(&resp);
             assert_eq!(codec.decode_response(bytes).unwrap(), resp);
         }
+    }
+
+    fn sample_write() -> WriteRequest {
+        WriteRequest {
+            request_id: 77,
+            partition: PartitionKey::from_id(9),
+            timestamp: 1_234_567_890,
+            cells: vec![Cell::synthetic(0, 1), Cell::synthetic(1, 3)],
+        }
+    }
+
+    #[test]
+    fn both_codecs_roundtrip_writes_and_acks() {
+        for codec in [Codec::verbose(), Codec::compact()] {
+            let w = sample_write();
+            assert_eq!(
+                codec.decode_write(codec.encode_write(&w)).unwrap(),
+                w,
+                "{:?}",
+                codec.kind
+            );
+            let ack = WriteAck {
+                request_id: 77,
+                applied: true,
+                version: 1_234_567_890,
+            };
+            assert_eq!(
+                codec
+                    .decode_write_ack(codec.encode_write_ack(&ack))
+                    .unwrap(),
+                ack,
+                "{:?}",
+                codec.kind
+            );
+        }
+    }
+
+    #[test]
+    fn response_version_survives_both_codecs() {
+        for codec in [Codec::verbose(), Codec::compact()] {
+            let resp = sample_response().with_version(42);
+            let back = codec.decode_response(codec.encode_response(&resp)).unwrap();
+            assert_eq!(back.version, 42, "{:?}", codec.kind);
+        }
+    }
+
+    #[test]
+    fn truncated_write_fails_cleanly() {
+        for codec in [Codec::verbose(), Codec::compact()] {
+            let bytes = codec.encode_write(&sample_write());
+            for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+                assert!(
+                    codec.decode_write(bytes.slice(..cut)).is_none(),
+                    "{:?} decoded a truncated write at {cut}",
+                    codec.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_and_ack_reject_wrong_class() {
+        let codec = Codec::compact();
+        let w = codec.encode_write(&sample_write());
+        assert!(codec.decode_write_ack(w.clone()).is_none());
+        assert!(codec.decode_request(w).is_none());
     }
 }

@@ -30,6 +30,9 @@
 //!   round-robin, least-loaded).
 //! * [`queue`] — bounded work queues with observable backpressure, shared
 //!   by the live executor and the `kvs-net` TCP slaves.
+//! * [`replication`] — deterministic mirror of the replicated write path:
+//!   ONE/QUORUM/ALL consistency, LWW versions, read-repair, bounded
+//!   hinted handoff, and PCAP-style staleness accounting.
 //! * [`sim`], [`result`], [`live`].
 
 pub mod codec;
@@ -39,6 +42,7 @@ pub mod live;
 pub mod messages;
 pub mod policy;
 pub mod queue;
+pub mod replication;
 pub mod result;
 pub mod sim;
 pub mod usl;
@@ -48,8 +52,12 @@ pub use config::{
     ClusterConfig, DbConfig, GcConfig, MasterConfig, NetworkConfig, NodeFailure, Straggler,
 };
 pub use data::ClusterData;
-pub use messages::{QueryRequest, QueryResponse};
+pub use messages::{QueryRequest, QueryResponse, WriteAck, WriteRequest};
 pub use policy::ReplicaPolicy;
 pub use queue::QueueStats;
+pub use replication::{
+    Consistency, DelayFault, FaultWindow, ReplicationOutcome, ReplicationSimConfig, SimOp,
+    SimOpKind,
+};
 pub use result::{Coverage, RunResult};
 pub use sim::{db_microbench, run_open_loop, run_query, run_query_paced, OpenLoopResult};

@@ -4,8 +4,16 @@
 //! sends one [`QueryRequest`] per partition key, each slave reads the
 //! partition locally and answers with a [`QueryResponse`] holding the
 //! per-kind counts.
+//!
+//! The replicated write path adds two more message bodies:
+//! [`WriteRequest`] carries a batch of cells plus a last-write-wins
+//! timestamp, and [`WriteAck`] reports whether the replica applied it and
+//! which version the partition holds afterwards. Read-modify-write rides
+//! the same bodies (frame kind `Rmw`, payload `WriteRequest`): the slave
+//! reads the partition pre-image before applying, preserving sequential
+//! semantics on the replica.
 
-use kvs_store::PartitionKey;
+use kvs_store::{Cell, PartitionKey};
 use std::collections::BTreeMap;
 
 /// A sub-query: "aggregate this partition".
@@ -26,6 +34,11 @@ pub struct QueryResponse {
     pub counts: BTreeMap<u8, u64>,
     /// Total cells aggregated (Σ counts, precomputed for convenience).
     pub cells: u64,
+    /// Last-write-wins version of the partition at read time (the
+    /// version cell's timestamp), `0` when the partition has never been
+    /// written through the replicated write path. The coordinator uses
+    /// this for read-repair and staleness accounting.
+    pub version: u64,
 }
 
 impl QueryResponse {
@@ -41,7 +54,14 @@ impl QueryResponse {
             request_id,
             counts,
             cells,
+            version: 0,
         }
+    }
+
+    /// Sets the partition's LWW version (builder style).
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
     }
 
     /// Merges another partial result into this one (the master's reduce).
@@ -50,6 +70,7 @@ impl QueryResponse {
             *self.counts.entry(kind).or_insert(0) += count;
         }
         self.cells += other.cells;
+        self.version = self.version.max(other.version);
     }
 
     /// An empty accumulator for the master's reduce.
@@ -58,8 +79,39 @@ impl QueryResponse {
             request_id: 0,
             counts: BTreeMap::new(),
             cells: 0,
+            version: 0,
         }
     }
+}
+
+/// A replicated write: apply `cells` to `partition` iff `timestamp` is
+/// newer than the partition's current version (last-write-wins; ties
+/// keep the incumbent, so replaying a hint is idempotent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// Unique id within the distributed operation.
+    pub request_id: u64,
+    /// The partition to write.
+    pub partition: PartitionKey,
+    /// LWW timestamp, wall-clock nanoseconds drawn at the coordinator.
+    pub timestamp: u64,
+    /// The cells to apply.
+    pub cells: Vec<Cell>,
+}
+
+/// A replica's answer to a [`WriteRequest`] (or an RMW).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteAck {
+    /// Echoes the request id.
+    pub request_id: u64,
+    /// Whether the write was applied (`false`: a newer version already
+    /// held the partition, or the store refused the write).
+    pub applied: bool,
+    /// The partition's LWW version after the decision. The coordinator
+    /// counts an ack toward the consistency level iff
+    /// `version >= timestamp` — the replica provably holds data at least
+    /// as new as this write.
+    pub version: u64,
 }
 
 #[cfg(test)]
@@ -91,5 +143,14 @@ mod tests {
         let r = QueryResponse::from_kinds(9, std::iter::empty());
         assert_eq!(r.cells, 0);
         assert!(r.counts.is_empty());
+        assert_eq!(r.version, 0);
+    }
+
+    #[test]
+    fn merge_keeps_max_version() {
+        let mut acc = QueryResponse::empty();
+        acc.merge(&QueryResponse::from_kinds(1, [0u8]).with_version(7));
+        acc.merge(&QueryResponse::from_kinds(2, [1u8]).with_version(3));
+        assert_eq!(acc.version, 7);
     }
 }

@@ -1,0 +1,598 @@
+//! Deterministic, seeded mirror of the replicated write path.
+//!
+//! `kvs-net`'s write coordinator (`crates/net/src/write_path.rs`) fans a
+//! write out to the replica set, acks at a per-request consistency level
+//! (ONE/QUORUM/ALL), read-repairs divergent read responses, and buffers
+//! hinted handoff for suspected-dead replicas. This module replays the
+//! same mechanism as a pure function of its inputs — no clocks, no
+//! ambient RNG (KVS-L001 deterministic zone) — so chaos measurements over
+//! real sockets can be cross-validated against a replayable prediction,
+//! exactly like `sim::run_query` does for the read path.
+//!
+//! The PCAP framing (Rahman et al., PAPERS.md) drives the outcome shape:
+//! per consistency level we report latency samples *and* the staleness
+//! fraction — the probability that a read misses the newest acknowledged
+//! write — as a function of replication factor and fault rate.
+//!
+//! Time is simulated milliseconds. Per-leg latency is resampled from an
+//! empirical sample set (typically harvested from a healthy passthrough
+//! socket run), so the sim inherits the measured baseline distribution
+//! and only the fault schedule and replication mechanics are modelled.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-request consistency level: how many replica acknowledgements a
+/// write (or read responses a read) needs before the coordinator answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// One replica suffices — fastest, weakest.
+    One,
+    /// A majority of the replica set (`rf/2 + 1`).
+    Quorum,
+    /// Every replica — slowest, strongest.
+    All,
+}
+
+impl Consistency {
+    /// Acknowledgements required at replication factor `rf`.
+    pub fn required(self, rf: usize) -> usize {
+        match self {
+            Consistency::One => 1,
+            Consistency::Quorum => rf / 2 + 1,
+            Consistency::All => rf,
+        }
+        .min(rf.max(1))
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Consistency::One => "one",
+            Consistency::Quorum => "quorum",
+            Consistency::All => "all",
+        }
+    }
+}
+
+/// A replica that is dark for a window of simulated time: legs sent to it
+/// inside the window are hinted, and the hints replay when it returns.
+#[derive(Debug, Clone)]
+pub struct FaultWindow {
+    /// The dark node.
+    pub node: usize,
+    /// Window start, inclusive (ms).
+    pub from_ms: f64,
+    /// Window end, exclusive (ms); hints replay at this instant.
+    pub until_ms: f64,
+}
+
+/// Random per-leg extra delay, the sim twin of a chaos `delay` rule.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayFault {
+    /// Probability a leg is delayed.
+    pub probability: f64,
+    /// The extra latency a delayed leg pays (ms).
+    pub extra_ms: f64,
+}
+
+/// Configuration for one replicated-write-path replay.
+#[derive(Debug, Clone)]
+pub struct ReplicationSimConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Replication factor (each partition lives on `rf` nodes).
+    pub rf: usize,
+    /// Seed for every random draw in the replay.
+    pub seed: u64,
+    /// Empirical one-leg round-trip samples (ms), resampled per leg.
+    pub leg_latency_ms: Vec<f64>,
+    /// Optional random delay fault applied to every leg.
+    pub delay: Option<DelayFault>,
+    /// Dark-replica windows (hinted handoff exercises).
+    pub down: Vec<FaultWindow>,
+    /// Bound on each node's hint queue; overflow drops the hint (and the
+    /// dropped write can be lost on that replica — the metric shows it).
+    pub hint_queue_cap: usize,
+}
+
+/// One operation in the replay schedule.
+#[derive(Debug, Clone)]
+pub struct SimOp {
+    /// Issue time (ms).
+    pub at_ms: f64,
+    /// Partition id; replicas are `(id % nodes) + k` for `k < rf`.
+    pub partition: u64,
+    /// Read, write, or read-modify-write.
+    pub kind: SimOpKind,
+    /// The consistency level this operation runs at.
+    pub consistency: Consistency,
+}
+
+/// The operation kinds the write path distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOpKind {
+    /// Quorum read with staleness accounting.
+    Read,
+    /// LWW write.
+    Write,
+    /// Read pre-image, then write — one coordinator op, two leg rounds.
+    Rmw,
+}
+
+/// Counters and samples from one replay; mirrors the socket coordinator's
+/// `MixedOutcome` so the drill can diff the two worlds field by field.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationOutcome {
+    /// Per-completed-op latency (ms), write ops only.
+    pub write_latency_ms: Vec<f64>,
+    /// Per-completed-op latency (ms), read + RMW ops.
+    pub read_latency_ms: Vec<f64>,
+    /// Completed reads.
+    pub reads: u64,
+    /// Reads whose observed version trailed the newest acked write.
+    pub stale_reads: u64,
+    /// Writes that reached their consistency level.
+    pub writes_acked: u64,
+    /// Writes that could not reach their consistency level.
+    pub writes_failed: u64,
+    /// Hints buffered for dark replicas.
+    pub hints_queued: u64,
+    /// Hints dropped at the queue bound.
+    pub hints_dropped: u64,
+    /// Hints replayed when their replica returned.
+    pub hints_replayed: u64,
+    /// Reads whose replica responses disagreed on version.
+    pub divergent_reads: u64,
+    /// Repair writes the coordinator issued for divergent reads.
+    pub read_repairs: u64,
+    /// Acked writes missing from every replica at the end of the replay —
+    /// the invariant the hinted-handoff machinery exists to keep at zero.
+    pub lost_acked_writes: u64,
+}
+
+/// Per-replica applied state: (partition, version applied, time applied).
+type Applied = Vec<(u64, u64, f64)>;
+
+struct Replay<'a> {
+    cfg: &'a ReplicationSimConfig,
+    rng: StdRng,
+    /// What each node has durably applied.
+    applied: Vec<Applied>,
+    /// Hints per node: (partition, version).
+    hints: Vec<Vec<(u64, u64)>>,
+    /// Acked writes: (partition, version, coordinator ack time).
+    acked: Vec<(u64, u64, f64)>,
+    out: ReplicationOutcome,
+}
+
+impl Replay<'_> {
+    fn replicas(&self, partition: u64) -> Vec<usize> {
+        let n = self.cfg.nodes.max(1);
+        let rf = self.cfg.rf.clamp(1, n);
+        (0..rf).map(|k| ((partition as usize) + k) % n).collect()
+    }
+
+    fn is_down(&self, node: usize, at_ms: f64) -> bool {
+        self.cfg
+            .down
+            .iter()
+            .any(|w| w.node == node && at_ms >= w.from_ms && at_ms < w.until_ms)
+    }
+
+    fn leg_ms(&mut self) -> f64 {
+        let samples = &self.cfg.leg_latency_ms;
+        let base = if samples.is_empty() {
+            1.0
+        } else {
+            samples[self.rng.gen_range(0..samples.len())]
+        };
+        let extra = match self.cfg.delay {
+            Some(d) if self.rng.gen_bool(d.probability.clamp(0.0, 1.0)) => d.extra_ms,
+            _ => 0.0,
+        };
+        base + extra
+    }
+
+    /// Records that `node` applied `version` of `partition` at `at_ms`.
+    /// The log is append-only: [`Replay::version_at`] filters by probe
+    /// time, so an older-but-already-visible version must stay on record
+    /// while a newer write is still in flight. LWW (strictly newer wins,
+    /// ties keep the incumbent — idempotent hint replay) falls out of
+    /// taking the max over visible entries.
+    fn apply(&mut self, node: usize, partition: u64, version: u64, at_ms: f64) {
+        self.applied[node].push((partition, version, at_ms));
+    }
+
+    /// The version `node` would report for `partition` if asked at `at_ms`
+    /// (only writes applied strictly before the probe are visible).
+    fn version_at(&self, node: usize, partition: u64, at_ms: f64) -> u64 {
+        self.applied[node]
+            .iter()
+            .filter(|(p, _, t)| *p == partition && *t <= at_ms)
+            .map(|(_, v, _)| *v)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Newest version acked by the coordinator before `at_ms`.
+    fn latest_acked(&self, partition: u64, at_ms: f64) -> u64 {
+        self.acked
+            .iter()
+            .filter(|(p, _, t)| *p == partition && *t <= at_ms)
+            .map(|(_, v, _)| *v)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn hint(&mut self, node: usize, partition: u64, version: u64) {
+        if self.hints[node].len() >= self.cfg.hint_queue_cap {
+            self.out.hints_dropped += 1;
+        } else {
+            self.hints[node].push((partition, version));
+            self.out.hints_queued += 1;
+        }
+    }
+
+    /// One write round: fan out, hint dark replicas, return the
+    /// completion time if `need` acks arrived, else `None`.
+    fn write_round(
+        &mut self,
+        partition: u64,
+        version: u64,
+        at_ms: f64,
+        need: usize,
+    ) -> Option<f64> {
+        let mut ack_times = Vec::new();
+        for node in self.replicas(partition) {
+            if self.is_down(node, at_ms) {
+                self.hint(node, partition, version);
+                continue;
+            }
+            let leg = self.leg_ms();
+            // The replica applies mid-flight and the ack completes the
+            // round trip — same halving the stage decomposition uses.
+            self.apply(node, partition, version, at_ms + leg / 2.0);
+            ack_times.push(at_ms + leg);
+        }
+        ack_times.sort_by(f64::total_cmp);
+        let done = *ack_times.get(need.saturating_sub(1))?;
+        self.acked.push((partition, version, done));
+        Some(done)
+    }
+
+    /// One read round at `need` replicas: returns (completion time,
+    /// observed max version) or `None` when too few replicas are up.
+    fn read_round(&mut self, partition: u64, at_ms: f64, need: usize) -> Option<(f64, u64)> {
+        let live: Vec<usize> = self
+            .replicas(partition)
+            .into_iter()
+            .filter(|&n| !self.is_down(n, at_ms))
+            .collect();
+        if live.len() < need {
+            return None;
+        }
+        let mut done = at_ms;
+        let mut versions = Vec::new();
+        for &node in live.iter().take(need) {
+            let leg = self.leg_ms();
+            versions.push((node, self.version_at(node, partition, at_ms + leg / 2.0)));
+            done = done.max(at_ms + leg);
+        }
+        let max_v = versions.iter().map(|(_, v)| *v).max().unwrap_or(0);
+        let min_v = versions.iter().map(|(_, v)| *v).min().unwrap_or(0);
+        if max_v != min_v {
+            self.out.divergent_reads += 1;
+            // Read repair: the coordinator rewrites the winning version to
+            // every stale replica it just heard from.
+            for (node, v) in versions {
+                if v < max_v {
+                    self.out.read_repairs += 1;
+                    let leg = self.leg_ms();
+                    self.apply(node, partition, max_v, done + leg / 2.0);
+                }
+            }
+        }
+        Some((done, max_v))
+    }
+
+    /// Replays hints whose fault windows closed at or before `at_ms`.
+    fn replay_due_hints(&mut self, at_ms: f64) {
+        for w in self.cfg.down.clone() {
+            if w.until_ms > at_ms {
+                continue;
+            }
+            let due = std::mem::take(&mut self.hints[w.node]);
+            for (partition, version) in due {
+                let leg = self.leg_ms();
+                self.apply(w.node, partition, version, w.until_ms + leg / 2.0);
+                self.out.hints_replayed += 1;
+            }
+        }
+    }
+}
+
+/// Replays an operation schedule through the simulated write path.
+/// `ops` must be sorted by `at_ms`; versions are assigned in issue order,
+/// mirroring the coordinator's monotone wall-clock timestamps.
+pub fn run_replicated(cfg: &ReplicationSimConfig, ops: &[SimOp]) -> ReplicationOutcome {
+    let mut r = Replay {
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed ^ 0x5EED_4E90),
+        applied: vec![Vec::new(); cfg.nodes.max(1)],
+        hints: vec![Vec::new(); cfg.nodes.max(1)],
+        acked: Vec::new(),
+        out: ReplicationOutcome::default(),
+    };
+    let rf = cfg.rf.clamp(1, cfg.nodes.max(1));
+    for (ix, op) in ops.iter().enumerate() {
+        r.replay_due_hints(op.at_ms);
+        let need = op.consistency.required(rf);
+        let version = ix as u64 + 1;
+        match op.kind {
+            SimOpKind::Write => match r.write_round(op.partition, version, op.at_ms, need) {
+                Some(done) => {
+                    r.out.writes_acked += 1;
+                    r.out.write_latency_ms.push(done - op.at_ms);
+                }
+                None => r.out.writes_failed += 1,
+            },
+            SimOpKind::Read => {
+                if let Some((done, observed)) = r.read_round(op.partition, op.at_ms, need) {
+                    r.out.reads += 1;
+                    if observed < r.latest_acked(op.partition, op.at_ms) {
+                        r.out.stale_reads += 1;
+                    }
+                    r.out.read_latency_ms.push(done - op.at_ms);
+                }
+            }
+            SimOpKind::Rmw => {
+                // Sequential read-then-write; the pre-image read runs at
+                // the same consistency level as the write leg.
+                if let Some((mid, _)) = r.read_round(op.partition, op.at_ms, need) {
+                    match r.write_round(op.partition, version, mid, need) {
+                        Some(done) => {
+                            r.out.writes_acked += 1;
+                            r.out.read_latency_ms.push(done - op.at_ms);
+                        }
+                        None => r.out.writes_failed += 1,
+                    }
+                }
+            }
+        }
+    }
+    // Close out every fault window, then audit acked-write durability.
+    r.replay_due_hints(f64::INFINITY);
+    let acked = r.acked.clone();
+    for (partition, version, _) in acked {
+        let held = r
+            .replicas(partition)
+            .into_iter()
+            .any(|n| r.version_at(n, partition, f64::INFINITY) >= version);
+        if !held {
+            r.out.lost_acked_writes += 1;
+        }
+    }
+    r.out
+}
+
+/// Convenience: the newest version a `(partition, version)` sample set
+/// holds for `partition` — used by tests comparing sim and socket worlds.
+pub fn final_version(outcome_versions: &[(u64, u64)], partition: u64) -> u64 {
+    outcome_versions
+        .iter()
+        .filter(|(p, _)| *p == partition)
+        .map(|(_, v)| *v)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> ReplicationSimConfig {
+        ReplicationSimConfig {
+            nodes: 3,
+            rf: 3,
+            seed: 7,
+            leg_latency_ms: vec![1.0, 1.2, 1.5, 2.0],
+            delay: None,
+            down: Vec::new(),
+            hint_queue_cap: 64,
+        }
+    }
+
+    fn write(at_ms: f64, partition: u64, consistency: Consistency) -> SimOp {
+        SimOp {
+            at_ms,
+            partition,
+            kind: SimOpKind::Write,
+            consistency,
+        }
+    }
+
+    fn read(at_ms: f64, partition: u64, consistency: Consistency) -> SimOp {
+        SimOp {
+            at_ms,
+            partition,
+            kind: SimOpKind::Read,
+            consistency,
+        }
+    }
+
+    #[test]
+    fn required_acks_per_level() {
+        assert_eq!(Consistency::One.required(3), 1);
+        assert_eq!(Consistency::Quorum.required(3), 2);
+        assert_eq!(Consistency::Quorum.required(2), 2);
+        assert_eq!(Consistency::All.required(3), 3);
+        assert_eq!(Consistency::All.required(1), 1);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let cfg = ReplicationSimConfig {
+            delay: Some(DelayFault {
+                probability: 0.2,
+                extra_ms: 20.0,
+            }),
+            ..base_cfg()
+        };
+        let ops: Vec<SimOp> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    read(i as f64, (i % 16) as u64, Consistency::Quorum)
+                } else {
+                    write(i as f64, (i % 16) as u64, Consistency::Quorum)
+                }
+            })
+            .collect();
+        let a = run_replicated(&cfg, &ops);
+        let b = run_replicated(&cfg, &ops);
+        assert_eq!(a.write_latency_ms, b.write_latency_ms);
+        assert_eq!(a.stale_reads, b.stale_reads);
+    }
+
+    #[test]
+    fn quorum_overlap_is_never_stale() {
+        // R + W > N: a quorum read always intersects the last quorum
+        // write, so staleness must be exactly zero without faults.
+        let mut ops = Vec::new();
+        for i in 0..100 {
+            ops.push(write(i as f64 * 10.0, (i % 8) as u64, Consistency::Quorum));
+            ops.push(read(
+                i as f64 * 10.0 + 5.0,
+                (i % 8) as u64,
+                Consistency::Quorum,
+            ));
+        }
+        let out = run_replicated(&base_cfg(), &ops);
+        assert_eq!(out.stale_reads, 0, "{out:?}");
+        assert_eq!(out.writes_failed, 0);
+        assert_eq!(out.lost_acked_writes, 0);
+    }
+
+    #[test]
+    fn one_reads_can_be_stale_under_delay() {
+        let cfg = ReplicationSimConfig {
+            delay: Some(DelayFault {
+                probability: 0.3,
+                extra_ms: 50.0,
+            }),
+            ..base_cfg()
+        };
+        let mut ops = Vec::new();
+        for i in 0..300 {
+            ops.push(write(i as f64 * 4.0, (i % 4) as u64, Consistency::One));
+            // Read shortly after the write completes at ONE: lagging
+            // replicas may not have applied yet.
+            ops.push(read(i as f64 * 4.0 + 2.0, (i % 4) as u64, Consistency::One));
+        }
+        let out = run_replicated(&cfg, &ops);
+        assert!(out.stale_reads > 0, "{out:?}");
+    }
+
+    #[test]
+    fn dark_replica_hints_queue_and_replay() {
+        let cfg = ReplicationSimConfig {
+            down: vec![FaultWindow {
+                node: 2,
+                from_ms: 0.0,
+                until_ms: 500.0,
+            }],
+            ..base_cfg()
+        };
+        let ops: Vec<SimOp> = (0..50)
+            .map(|i| write(i as f64, 1, Consistency::Quorum))
+            .collect();
+        let out = run_replicated(&cfg, &ops);
+        // Partition 1 at rf=3/n=3 includes node 2: every write hints it.
+        assert_eq!(out.hints_queued, 50, "{out:?}");
+        assert_eq!(out.hints_replayed, 50);
+        assert_eq!(out.writes_acked, 50);
+        assert_eq!(out.lost_acked_writes, 0);
+    }
+
+    #[test]
+    fn hint_queue_bound_drops_overflow() {
+        let cfg = ReplicationSimConfig {
+            hint_queue_cap: 10,
+            down: vec![FaultWindow {
+                node: 2,
+                from_ms: 0.0,
+                until_ms: 500.0,
+            }],
+            ..base_cfg()
+        };
+        let ops: Vec<SimOp> = (0..50)
+            .map(|i| write(i as f64, 1, Consistency::Quorum))
+            .collect();
+        let out = run_replicated(&cfg, &ops);
+        assert_eq!(out.hints_queued, 10);
+        assert_eq!(out.hints_dropped, 40);
+        // QUORUM still acked through the two live replicas, so nothing
+        // acknowledged is lost even though hints overflowed.
+        assert_eq!(out.lost_acked_writes, 0);
+    }
+
+    #[test]
+    fn all_writes_fail_when_a_replica_is_dark() {
+        let cfg = ReplicationSimConfig {
+            down: vec![FaultWindow {
+                node: 2,
+                from_ms: 0.0,
+                until_ms: 500.0,
+            }],
+            ..base_cfg()
+        };
+        let ops: Vec<SimOp> = (0..10)
+            .map(|i| write(i as f64, 1, Consistency::All))
+            .collect();
+        let out = run_replicated(&cfg, &ops);
+        assert_eq!(out.writes_acked, 0);
+        assert_eq!(out.writes_failed, 10);
+    }
+
+    #[test]
+    fn divergence_triggers_read_repair() {
+        let cfg = ReplicationSimConfig {
+            delay: Some(DelayFault {
+                probability: 0.5,
+                extra_ms: 100.0,
+            }),
+            ..base_cfg()
+        };
+        let mut ops = Vec::new();
+        for i in 0..200 {
+            ops.push(write(i as f64 * 3.0, 1, Consistency::One));
+            ops.push(read(i as f64 * 3.0 + 1.0, 1, Consistency::Quorum));
+        }
+        let out = run_replicated(&cfg, &ops);
+        assert!(out.divergent_reads > 0, "{out:?}");
+        assert!(out.read_repairs >= out.divergent_reads);
+    }
+
+    #[test]
+    fn rmw_costs_two_rounds() {
+        let cfg = base_cfg();
+        let writes: Vec<SimOp> = (0..100)
+            .map(|i| write(i as f64 * 10.0, 1, Consistency::All))
+            .collect();
+        let rmws: Vec<SimOp> = (0..100)
+            .map(|i| SimOp {
+                kind: SimOpKind::Rmw,
+                ..write(i as f64 * 10.0, 1, Consistency::All)
+            })
+            .collect();
+        let w = run_replicated(&cfg, &writes);
+        let r = run_replicated(&cfg, &rmws);
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(
+            mean(&r.read_latency_ms) > 1.5 * mean(&w.write_latency_ms),
+            "RMW should pay roughly two leg rounds: {} vs {}",
+            mean(&r.read_latency_ms),
+            mean(&w.write_latency_ms)
+        );
+    }
+}

@@ -28,12 +28,14 @@ proptest! {
     /// Both codecs round-trip arbitrary responses (any kind→count map).
     #[test]
     fn codecs_roundtrip_responses(id in any::<u64>(),
-                                  counts in proptest::collection::btree_map(any::<u8>(), 1u64..1_000_000, 0..32)) {
+                                  counts in proptest::collection::btree_map(any::<u8>(), 1u64..1_000_000, 0..32),
+                                  version in any::<u64>()) {
         let cells = counts.values().sum();
         let resp = QueryResponse {
             request_id: id,
             counts: counts.clone() as BTreeMap<u8, u64>,
             cells,
+            version,
         };
         for codec in [Codec::verbose(), Codec::compact()] {
             let bytes = codec.encode_response(&resp);

@@ -28,6 +28,9 @@ impl Master {
                 self.on_busy();
             }
             super::frame::FrameKind::Expired => {}
+            super::frame::FrameKind::Write => {}
+            super::frame::FrameKind::WriteAck => {}
+            super::frame::FrameKind::Rmw => {}
         }
     }
 

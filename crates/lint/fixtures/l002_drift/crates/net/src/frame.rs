@@ -5,7 +5,8 @@
 //!      0     2  magic        0x4B56 ("KV")
 //!      2     1  version      2 (version 1 still decodes)
 //!      3     1  kind         1 = request, 2 = response, 3 = busy,
-//!                            4 = expired
+//!                            4 = expired, 5 = write, 6 = write-ack,
+//!                            7 = rmw
 //!      4     1  flags        bit 0: compact codec
 //!      5     8  id           request id
 //!     13     4  len          payload length in bytes
@@ -26,6 +27,9 @@ pub enum FrameKind {
     Response,
     Busy,
     Expired,
+    Write,
+    WriteAck,
+    Rmw,
 }
 
 impl FrameKind {
@@ -35,6 +39,9 @@ impl FrameKind {
             FrameKind::Response => 2,
             FrameKind::Busy => 3,
             FrameKind::Expired => 4,
+            FrameKind::Write => 5,
+            FrameKind::WriteAck => 6,
+            FrameKind::Rmw => 7,
         }
     }
 }

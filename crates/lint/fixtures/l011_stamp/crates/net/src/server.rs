@@ -1,10 +1,20 @@
-//! Fixture: a response frame drops the in-db stage stamp (KVS-L011).
+//! Fixture: a response frame drops the in-db stage stamp, and a write
+//! frame stamps the slave-owned slot (both KVS-L011).
 
 pub fn reply(first: u64, dequeued: u64, payload: Vec<u8>) -> Frame {
     Frame {
         kind: FrameKind::Response,
         id: 9,
         stamps: [first, dequeued, 0, wall_ns()],
+        payload,
+    }
+}
+
+pub fn send_write(issued: u64, sent: u64, seq: u64, payload: Vec<u8>) -> Frame {
+    Frame {
+        kind: FrameKind::Write,
+        id: 11,
+        stamps: [issued, sent, seq, wall_ns()],
         payload,
     }
 }

@@ -578,7 +578,9 @@ const STAGES: &[&str] = &[
 
 fn stamp_scope(rel: &str) -> bool {
     rel.starts_with("crates/net/src/")
-        && (rel.ends_with("/server.rs") || rel.ends_with("/master.rs"))
+        && (rel.ends_with("/server.rs")
+            || rel.ends_with("/master.rs")
+            || rel.ends_with("/write_path.rs"))
 }
 
 fn stamp_dataflow(ws: &Workspace, out: &mut Vec<Diagnostic>) {
@@ -714,7 +716,10 @@ fn check_one_frame(
         .unwrap_or("")
         .to_string();
     match kind.as_str() {
-        "Request" => {
+        // Write and Rmw frames follow the request convention: the master
+        // owns the first three slots (the LWW timestamp travels in the
+        // payload, never in the stamps).
+        "Request" | "Write" | "Rmw" => {
             for (i, name) in ["issue", "send", "send-seq"].iter().enumerate() {
                 if slots[i] == "0" {
                     out.push(diag(
@@ -735,7 +740,10 @@ fn check_one_frame(
                 ));
             }
         }
-        "Response" => {
+        // A write-ack carries the same four stage boundaries a response
+        // does; losing one degrades the write path's decomposition the
+        // same way.
+        "Response" | "WriteAck" => {
             for (i, name) in ["send echo", "dequeue", "in-db end", "slave send"]
                 .iter()
                 .enumerate()
@@ -854,7 +862,8 @@ fn kind_scope(rel: &str) -> bool {
     rel.starts_with("crates/net/src/")
         && (rel.ends_with("/master.rs")
             || rel.ends_with("/server.rs")
-            || rel.ends_with("/chaos.rs"))
+            || rel.ends_with("/chaos.rs")
+            || rel.ends_with("/write_path.rs"))
 }
 
 /// Variant names of `enum FrameKind` in `frame.rs`, in declaration order.
@@ -1125,6 +1134,30 @@ mod tests {
                    fn refuse(kind: FrameKind) -> Frame { Frame { kind,\n\
                    stamps: [echo, wall_ns(), 0, 0] } }\n";
         assert!(run_on(&[("crates/net/src/master.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn write_path_kinds_follow_their_stamp_conventions() {
+        // Write/Rmw are request-shaped; WriteAck is response-shaped.
+        let ok = "fn w() -> Frame { Frame { kind: FrameKind::Write,\n\
+                  stamps: [issued, sent, seq, 0] } }\n\
+                  fn r() -> Frame { Frame { kind: FrameKind::Rmw,\n\
+                  stamps: [issued, sent, seq, 0] } }\n\
+                  fn a() -> Frame { Frame { kind: FrameKind::WriteAck,\n\
+                  stamps: [echo, dequeued, db_end, wall_ns()] } }\n";
+        assert!(run_on(&[("crates/net/src/write_path.rs", ok)]).is_empty());
+        let bad_write = "fn w() -> Frame { Frame { kind: FrameKind::Write,\n\
+                         stamps: [issued, sent, seq, wall_ns()] } }\n";
+        let out = run_on(&[("crates/net/src/write_path.rs", bad_write)]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "KVS-L011");
+        assert!(out[0].message.contains("stamps[3]"), "{}", out[0].message);
+        let bad_ack = "fn a() -> Frame { Frame { kind: FrameKind::WriteAck,\n\
+                       stamps: [echo, dequeued, 0, wall_ns()] } }\n";
+        let out = run_on(&[("crates/net/src/write_path.rs", bad_ack)]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "KVS-L011");
+        assert!(out[0].message.contains("in-db end"), "{}", out[0].message);
     }
 
     #[test]

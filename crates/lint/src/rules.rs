@@ -160,6 +160,7 @@ const DETERMINISTIC_ZONES: &[&str] = &[
     "crates/workloads/src/",
     "crates/core/src/",
     "crates/cluster/src/sim.rs",
+    "crates/cluster/src/replication.rs",
 ];
 
 fn in_deterministic_zone(rel: &str) -> bool {

@@ -14,9 +14,9 @@
 //! under a seeded RNG). The same schedule + seed replays the same fault
 //! sequence, which is what makes the robustness suite deterministic.
 //!
-//! The proxy also audits the master's send-sequence discipline: request
-//! frames carry a monotone sequence number in `stamps[2]`, and any
-//! regression observed on a connection increments
+//! The proxy also audits the master's send-sequence discipline: request,
+//! write and RMW frames carry a monotone sequence number in `stamps[2]`,
+//! and any regression observed on a connection increments
 //! [`ChaosStats::seq_regressions`].
 
 use crate::frame::{Frame, FrameKind, HEADER_LEN};
@@ -552,7 +552,11 @@ fn pump(src: TcpStream, mut dst: TcpStream, to_slave: bool, conn_id: u64, shared
                         Ok(Some((frame, used))) => {
                             let raw: Vec<u8> = buf.drain(..used).collect();
                             shared.stats.frames_seen.fetch_add(1, Ordering::Relaxed);
-                            if to_slave && frame.kind == FrameKind::Request {
+                            if to_slave
+                                && (frame.kind == FrameKind::Request
+                                    || frame.kind == FrameKind::Write
+                                    || frame.kind == FrameKind::Rmw)
+                            {
                                 let seq = frame.stamps[2];
                                 if last_seq.is_some_and(|prev| seq < prev) {
                                     shared.stats.seq_regressions.fetch_add(1, Ordering::Relaxed);

@@ -8,7 +8,8 @@
 //!      0     2  magic        0x4B56 ("KV")
 //!      2     1  version      2 (version 1 frames still decode, see below)
 //!      3     1  kind         1 = request, 2 = response, 3 = busy,
-//!                            4 = expired
+//!                            4 = expired, 5 = write, 6 = write-ack,
+//!                            7 = rmw
 //!      4     1  flags        bit 0: payload encoded with the compact codec
 //!      5     8  id           request id (present even in busy frames, so
 //!                            the master can retry without decoding bodies)
@@ -42,7 +43,13 @@
 //!   slave send time;
 //! * busy — `stamps[0]` echoes the request's send time;
 //! * expired — `stamps[0]` echoes the request's send time, `stamps[1]`
-//!   the slave-side wall clock when the deadline was found to have passed.
+//!   the slave-side wall clock when the deadline was found to have passed;
+//! * write / rmw — same convention as request (`stamps[0]` issue,
+//!   `stamps[1]` coordinator send, `stamps[2]` send sequence number); the
+//!   LWW timestamp travels in the payload, not the stamps;
+//! * write-ack — same convention as response (`stamps[0]` echoes the
+//!   write's send time, `stamps[1]` worker dequeue, `stamps[2]` store
+//!   apply end, `stamps[3]` slave send time).
 //!
 //! The carried wall-clock stamps are comparable across processes on the
 //! same host (the loopback deployments this crate targets); the master
@@ -85,6 +92,15 @@ pub enum FrameKind {
     /// before the DB stage ran. The master should not retry the id — the
     /// deadline will not un-expire.
     Expired,
+    /// Master → slave replicated write (payload: `WriteRequest` with an
+    /// LWW timestamp).
+    Write,
+    /// Slave → master write acknowledgement (payload: `WriteAck`).
+    WriteAck,
+    /// Master → slave read-modify-write: the slave reads the partition
+    /// pre-image, then applies the write under the same LWW rule. Same
+    /// payload as [`FrameKind::Write`], answered with a write-ack.
+    Rmw,
 }
 
 impl FrameKind {
@@ -94,6 +110,9 @@ impl FrameKind {
             FrameKind::Response => 2,
             FrameKind::Busy => 3,
             FrameKind::Expired => 4,
+            FrameKind::Write => 5,
+            FrameKind::WriteAck => 6,
+            FrameKind::Rmw => 7,
         }
     }
 
@@ -103,6 +122,9 @@ impl FrameKind {
             2 => Some(FrameKind::Response),
             3 => Some(FrameKind::Busy),
             4 => Some(FrameKind::Expired),
+            5 => Some(FrameKind::Write),
+            6 => Some(FrameKind::WriteAck),
+            7 => Some(FrameKind::Rmw),
             _ => None,
         }
     }
@@ -471,6 +493,29 @@ mod tests {
         assert_eq!(wire.len(), HEADER_LEN);
         let (decoded, _) = Frame::decode(&wire).unwrap().unwrap();
         assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn write_path_kinds_roundtrip() {
+        for (kind, byte) in [
+            (FrameKind::Write, 5u8),
+            (FrameKind::WriteAck, 6),
+            (FrameKind::Rmw, 7),
+        ] {
+            let f = Frame {
+                kind,
+                flags: FLAG_COMPACT,
+                id: 21,
+                stamps: [100, 200, 3, 0],
+                deadline: 900,
+                payload: Bytes::copy_from_slice(b"write body"),
+            };
+            let wire = f.encode();
+            assert_eq!(wire[3], byte);
+            let (decoded, consumed) = Frame::decode(&wire).unwrap().unwrap();
+            assert_eq!(consumed, wire.len());
+            assert_eq!(decoded, f);
+        }
     }
 
     #[test]

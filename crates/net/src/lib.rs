@@ -35,7 +35,13 @@
 //!   interposer (delay/drop/duplicate/truncate/corrupt/disconnect/
 //!   blackhole, driven by a seeded [`ChaosSchedule`]) that the robustness
 //!   suite places between master and slaves to exercise the failover
-//!   path under byte-accurate faults.
+//!   path under byte-accurate faults;
+//! * [`write_path`] — the replicated write path: [`NetMaster::run_mixed`]
+//!   coordinates reads, LWW writes and RMWs at per-request consistency
+//!   levels (ONE/QUORUM/ALL), with read-repair, bounded hinted handoff
+//!   for suspected-dead replicas, and replay-on-recovery
+//!   ([`NetMaster::replay_hints`]). The deterministic twin lives in
+//!   [`kvs_cluster::replication`].
 
 pub mod calibrate;
 pub mod chaos;
@@ -47,6 +53,7 @@ pub mod local;
 pub mod master;
 pub mod phi;
 pub mod server;
+pub mod write_path;
 
 pub use calibrate::{calibrate_t_msg, TMsgCalibration};
 pub use chaos::{
@@ -62,3 +69,4 @@ pub use master::{
 };
 pub use phi::PhiAccrual;
 pub use server::{NetServerConfig, NodeStore, SlaveHandle, SlaveServer};
+pub use write_path::{MixedOp, MixedOutcome, MixedPlan, WriteOptions};

@@ -39,7 +39,7 @@ use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
 use crate::latency::LatencyTracker;
 use crate::phi::PhiAccrual;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use kvs_cluster::{Codec, CodecKind, Coverage, QueryRequest, ReplicaPolicy, RunResult};
 use kvs_simcore::{SimDuration, SimTime};
 use kvs_stages::{analyze, Stage, TraceRecorder};
@@ -243,7 +243,7 @@ impl NetRunReport {
 
 /// Why a connection reader exited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DownReason {
+pub(crate) enum DownReason {
     /// EOF or a transport error: the peer is gone.
     Closed,
     /// A frame failed validation (CRC/framing): the stream is
@@ -252,7 +252,7 @@ enum DownReason {
 }
 
 /// What a reader thread reports to the collect loop.
-enum Event {
+pub(crate) enum Event {
     Frame(u32, Frame),
     Down(u32, DownReason),
 }
@@ -294,13 +294,13 @@ impl Pending {
 
 /// Per-node health: continuous phi-accrual suspicion plus the hard
 /// verdicts phi cannot express (a closed connection stays closed).
-struct NodeHealth {
+pub(crate) struct NodeHealth {
     phi: PhiAccrual,
-    latency: LatencyTracker,
+    pub(crate) latency: LatencyTracker,
     /// The connection is gone (EOF, transport error, CRC disconnect, or a
     /// failed write). The write half is dropped; only a reconnect could
     /// clear this.
-    hard_dead: bool,
+    pub(crate) hard_dead: bool,
     /// A request exhausted its retry budget against this node. Soft:
     /// any later frame from the node clears it.
     exhausted: bool,
@@ -310,7 +310,7 @@ struct NodeHealth {
 }
 
 impl NodeHealth {
-    fn new() -> NodeHealth {
+    pub(crate) fn new() -> NodeHealth {
         NodeHealth {
             phi: PhiAccrual::default(),
             latency: LatencyTracker::default(),
@@ -327,24 +327,30 @@ impl NodeHealth {
 
 /// A connected master.
 pub struct NetMaster {
-    writers: Vec<Option<TcpStream>>,
-    rx: Receiver<Event>,
+    pub(crate) writers: Vec<Option<TcpStream>>,
+    pub(crate) rx: Receiver<Event>,
+    /// Producer half of the event channel, kept so a reconnect
+    /// ([`NetMaster::reconnect`]) can spawn a fresh reader thread.
+    pub(crate) tx: Sender<Event>,
     readers: Vec<JoinHandle<()>>,
-    cfg: NetConfig,
+    pub(crate) cfg: NetConfig,
     /// Per-node failure-detector and latency state. Persists across
     /// queries, like the dead set it replaces.
-    health: Vec<NodeHealth>,
+    pub(crate) health: Vec<NodeHealth>,
     crc_disconnects: u64,
     /// Monotone per-master send sequence, stamped into request frames
     /// (`stamps[2]`) so interposers and tests can assert ordering.
-    send_seq: u64,
+    pub(crate) send_seq: u64,
     policy_rng: StdRng,
+    /// Replicated-write-path state: hint queues, the read-repair write
+    /// cache, per-partition acked versions (see `crate::write_path`).
+    pub(crate) wstate: crate::write_path::WriteState,
 }
 
 /// `TcpStream::connect` with bounded retry on `ConnectionRefused`: a
 /// freshly spawned local cluster (or a slave being restarted by a chaos
 /// test) may not have reached `listen()` yet, and the first SYN bounces.
-fn connect_with_retry(addr: &SocketAddr, cfg: &NetConfig) -> io::Result<TcpStream> {
+pub(crate) fn connect_with_retry(addr: &SocketAddr, cfg: &NetConfig) -> io::Result<TcpStream> {
     let mut backoff = cfg.connect_backoff.max(Duration::from_micros(100));
     let mut attempt = 0;
     loop {
@@ -363,6 +369,28 @@ fn connect_with_retry(addr: &SocketAddr, cfg: &NetConfig) -> io::Result<TcpStrea
     }
 }
 
+/// Spawns one connection reader thread funneling frames into `tx`.
+fn spawn_reader(node: u32, mut read_half: TcpStream, tx: Sender<Event>) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match Frame::read_from(&mut read_half) {
+            Ok(frame) => {
+                if tx.send(Event::Frame(node, frame)).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                let reason = if e.kind() == io::ErrorKind::InvalidData {
+                    DownReason::Corrupt
+                } else {
+                    DownReason::Closed
+                };
+                let _ = tx.send(Event::Down(node, reason));
+                return;
+            }
+        }
+    })
+}
+
 impl NetMaster {
     /// Connects to every slave; `addrs[i]` must be node `i`'s server.
     /// `ConnectionRefused` is retried [`NetConfig::connect_retries`] times
@@ -375,39 +403,52 @@ impl NetMaster {
         for (node, addr) in addrs.iter().enumerate() {
             let stream = connect_with_retry(addr, &cfg)?;
             stream.set_nodelay(true)?;
-            let mut read_half = stream.try_clone()?;
+            let read_half = stream.try_clone()?;
             writers.push(Some(stream));
-            let tx = tx.clone();
-            let node = node as u32;
-            readers.push(std::thread::spawn(move || loop {
-                match Frame::read_from(&mut read_half) {
-                    Ok(frame) => {
-                        if tx.send(Event::Frame(node, frame)).is_err() {
-                            return;
-                        }
-                    }
-                    Err(e) => {
-                        let reason = if e.kind() == io::ErrorKind::InvalidData {
-                            DownReason::Corrupt
-                        } else {
-                            DownReason::Closed
-                        };
-                        let _ = tx.send(Event::Down(node, reason));
-                        return;
-                    }
-                }
-            }));
+            readers.push(spawn_reader(node as u32, read_half, tx.clone()));
         }
         Ok(NetMaster {
             writers,
             rx,
+            tx,
             readers,
             health: (0..addrs.len()).map(|_| NodeHealth::new()).collect(),
             crc_disconnects: 0,
             send_seq: 0,
             policy_rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
+            wstate: crate::write_path::WriteState::default(),
         })
+    }
+
+    /// Re-establishes the connection to a restarted `node`: a fresh TCP
+    /// stream, a fresh reader thread, and fresh failure-detector state
+    /// (the old incarnation's suspicion does not transfer to the new
+    /// process). The caller typically follows up with
+    /// [`NetMaster::replay_hints`] to drain writes buffered while the
+    /// node was dark.
+    pub fn reconnect(&mut self, node: u32, addr: SocketAddr) -> io::Result<()> {
+        let cfg = self.cfg;
+        let stream = connect_with_retry(&addr, &cfg)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        if let Some(slot) = self.writers.get_mut(node as usize) {
+            if let Some(old) = slot.take() {
+                crate::ioutil::best_effort("close stale connection", old.shutdown(Shutdown::Both));
+            }
+            *slot = Some(stream);
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("node {node} is outside the connected cluster"),
+            ));
+        }
+        self.readers
+            .push(spawn_reader(node, read_half, self.tx.clone()));
+        if let Some(h) = self.health.get_mut(node as usize) {
+            *h = NodeHealth::new();
+        }
+        Ok(())
     }
 
     /// Nodes currently suspected by this master: hard-dead connections,
@@ -433,7 +474,7 @@ impl NetMaster {
 
     /// Any frame from `node` proves it alive: feed the phi detector and
     /// clear the soft suspicion verdicts.
-    fn note_alive(&mut self, node: u32) {
+    pub(crate) fn note_alive(&mut self, node: u32) {
         if let Some(h) = self.health.get_mut(node as usize) {
             h.phi.heartbeat(Instant::now());
             h.exhausted = false;
@@ -443,7 +484,7 @@ impl NetMaster {
 
     /// Hard verdicts only: the node cannot currently answer (closed
     /// connection) or demonstrably did not (exhausted budget).
-    fn hard_suspect(&self, node: u32) -> bool {
+    pub(crate) fn hard_suspect(&self, node: u32) -> bool {
         self.health
             .get(node as usize)
             .map(|h| h.hard_dead || h.exhausted)
@@ -760,7 +801,12 @@ impl NetMaster {
                                 misses.push(frame.id);
                             }
                         }
-                        FrameKind::Request => {} // protocol violation; ignore
+                        // Protocol violations (a slave never sends these)
+                        // and write-path acks owned by `run_mixed`: ignore.
+                        FrameKind::Request
+                        | FrameKind::Write
+                        | FrameKind::WriteAck
+                        | FrameKind::Rmw => {}
                     }
                 }
                 Ok(Event::Down(node, reason)) => {
@@ -1110,7 +1156,7 @@ impl NetMaster {
 
     /// Marks a node hard-dead and drops its write half so no further
     /// frames go to it.
-    fn mark_dead(&mut self, node: u32) {
+    pub(crate) fn mark_dead(&mut self, node: u32) {
         if let Some(h) = self.health.get_mut(node as usize) {
             h.hard_dead = true;
         }
@@ -1174,7 +1220,7 @@ impl NetMaster {
         }
     }
 
-    fn write_frame(&mut self, node: u32, frame: &Frame) -> io::Result<()> {
+    pub(crate) fn write_frame(&mut self, node: u32, frame: &Frame) -> io::Result<()> {
         let writer = self
             .writers
             .get_mut(node as usize)

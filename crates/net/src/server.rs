@@ -23,7 +23,7 @@ use crate::clock::wall_ns;
 use crate::frame::{Frame, FrameKind, FLAG_COMPACT};
 use crate::ioutil::{best_effort, join_logged};
 use kvs_cluster::queue::{work_queue, QueueStats, TimedPush, WorkQueue, NO_DEADLINE};
-use kvs_cluster::{Codec, QueryResponse};
+use kvs_cluster::{Codec, QueryResponse, WriteAck, WriteRequest};
 use kvs_store::{Cell, DurableTable, PartitionKey, Table};
 use parking_lot::Mutex;
 use std::io;
@@ -55,6 +55,40 @@ impl Default for NetServerConfig {
 
 /// How long connection readers block before re-checking the stop flag.
 const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Clustering key of the reserved per-partition *version cell* that stores
+/// the partition's last-write-wins timestamp. It rides the normal put
+/// path, so it inherits WAL durability, SSTable persistence, and crash
+/// recovery for free; readers filter it out of aggregation counts.
+pub const VERSION_CLUSTERING: u64 = u64::MAX;
+/// Kind byte of the version cell (never produced by workload generators).
+pub const VERSION_KIND: u8 = 0xFF;
+
+/// True for the reserved version cell (excluded from aggregations).
+pub fn is_version_cell(cell: &Cell) -> bool {
+    cell.clustering == VERSION_CLUSTERING && cell.kind == VERSION_KIND
+}
+
+/// The partition's LWW version recorded in `cells`, `0` if never written
+/// through the replicated write path. Takes the max so a version cell
+/// duplicated across memtable and SSTable generations still reads newest.
+pub fn version_of(cells: &[Cell]) -> u64 {
+    cells
+        .iter()
+        .filter(|c| is_version_cell(c))
+        .filter_map(|c| c.payload.as_ref().try_into().ok().map(u64::from_be_bytes))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Builds the version cell carrying `timestamp`.
+pub fn version_cell(timestamp: u64) -> Cell {
+    Cell::new(
+        VERSION_CLUSTERING,
+        VERSION_KIND,
+        timestamp.to_be_bytes().to_vec(),
+    )
+}
 
 struct Job {
     frame: Frame,
@@ -88,6 +122,47 @@ impl NodeStore {
                 }
             },
         }
+    }
+
+    /// Applies a replicated write under the last-write-wins rule: a
+    /// strictly newer timestamp replaces the partition's version cell and
+    /// lands every carried cell; an equal or older timestamp leaves the
+    /// incumbent untouched (ties keep the incumbent, so hint replay is
+    /// idempotent). Returns `(applied, version_after)`. A durable-tier
+    /// error refuses the write (`applied = false`) with the pre-image
+    /// version, and the coordinator will not count the ack.
+    fn apply(&mut self, req: &WriteRequest) -> (bool, u64) {
+        let current = version_of(&self.get(&req.partition));
+        if req.timestamp <= current {
+            return (false, current);
+        }
+        match self {
+            NodeStore::Ram(table) => {
+                for cell in &req.cells {
+                    table.put(req.partition.clone(), cell.clone());
+                }
+                table.put(req.partition.clone(), version_cell(req.timestamp));
+            }
+            NodeStore::Durable(table) => {
+                for cell in &req.cells {
+                    if let Err(e) = table.put(req.partition.clone(), cell.clone()) {
+                        eprintln!("kvs-net: durable write of {:?} failed: {e}", req.partition);
+                        return (false, current);
+                    }
+                }
+                if let Err(e) = table.put(req.partition.clone(), version_cell(req.timestamp)) {
+                    eprintln!("kvs-net: version cell write failed: {e}");
+                    return (false, current);
+                }
+                // The ack promises durability: the WAL must be on disk
+                // before the coordinator counts this replica.
+                if let Err(e) = table.sync_wal() {
+                    eprintln!("kvs-net: WAL sync failed: {e}");
+                    return (false, current);
+                }
+            }
+        }
+        (true, req.timestamp)
     }
 }
 
@@ -209,14 +284,17 @@ fn read_connection(stream: TcpStream, queue: WorkQueue<Job>, stop: Arc<AtomicBoo
     }
 }
 
-/// Routes one decoded frame: requests go to the deadline-aware queue.
-/// A request whose deadline already passed is answered `Expired` without
-/// ever occupying a queue slot, a full queue of live work gets an
-/// immediate `Busy` reply, and expired entries evicted to make room are
-/// each answered `Expired`. Anything that is not a request is a protocol
-/// violation, dropped.
+/// Routes one decoded frame: requests, writes and RMWs go to the
+/// deadline-aware queue. A request whose deadline already passed is
+/// answered `Expired` without ever occupying a queue slot, a full queue
+/// of live work gets an immediate `Busy` reply, and expired entries
+/// evicted to make room are each answered `Expired`. Anything else is a
+/// protocol violation, dropped.
 fn dispatch(frame: Frame, queue: &WorkQueue<Job>, conn: &Arc<Mutex<TcpStream>>) {
-    if frame.kind != FrameKind::Request {
+    if frame.kind != FrameKind::Request
+        && frame.kind != FrameKind::Write
+        && frame.kind != FrameKind::Rmw
+    {
         return;
     }
     let now = wall_ns();
@@ -269,16 +347,29 @@ fn would_block(e: &io::Error) -> bool {
     )
 }
 
-/// Worker body: decode → store read → encode → reply with stage stamps.
-/// Work whose deadline has passed while queued is shed *before* the DB
-/// stage — the master gets an `Expired` answer instead of a result it can
-/// no longer use.
+/// Worker body: decode → store read/write → encode → reply with stage
+/// stamps. Work whose deadline has passed while queued is shed *before*
+/// the DB stage — the master gets an `Expired` answer instead of a result
+/// it can no longer use.
 fn serve(store: &Mutex<NodeStore>, job: Job) {
     let dequeued = wall_ns();
     if job.frame.deadline != 0 && dequeued >= job.frame.deadline {
         reply_refusal(&job, FrameKind::Expired);
         return;
     }
+    match job.frame.kind {
+        FrameKind::Request => serve_read(store, job, dequeued),
+        FrameKind::Write => serve_write(store, job, dequeued, false),
+        FrameKind::Rmw => serve_write(store, job, dequeued, true),
+        // dispatch() never queues these; tolerate and drop.
+        FrameKind::Response | FrameKind::WriteAck | FrameKind::Busy | FrameKind::Expired => {}
+    }
+}
+
+/// The read path: aggregate the partition's per-kind counts (the version
+/// cell is bookkeeping, not data — filtered out) and report the
+/// partition's LWW version for coordinator-side staleness accounting.
+fn serve_read(store: &Mutex<NodeStore>, job: Job, dequeued: u64) {
     let codec = if job.frame.flags & FLAG_COMPACT != 0 {
         Codec::compact()
     } else {
@@ -288,7 +379,11 @@ fn serve(store: &Mutex<NodeStore>, job: Job) {
         return; // checksummed frame with an undecodable body: drop it
     };
     let cells = store.lock().get(&request.partition);
-    let response = QueryResponse::from_kinds(request.request_id, cells.iter().map(|c| c.kind));
+    let response = QueryResponse::from_kinds(
+        request.request_id,
+        cells.iter().filter(|c| !is_version_cell(c)).map(|c| c.kind),
+    )
+    .with_version(version_of(&cells));
     let db_end = wall_ns();
     let reply = Frame {
         kind: FrameKind::Response,
@@ -301,6 +396,47 @@ fn serve(store: &Mutex<NodeStore>, job: Job) {
     // Same per-connection write serialization as `reply_refusal` (waived
     // KVS-L007); a failed write means the master hung up.
     best_effort("response write", reply.write_to(&mut *job.conn.lock()));
+}
+
+/// The write path: apply the batch under last-write-wins and acknowledge
+/// with the partition's resulting version. An RMW reads the pre-image
+/// first, preserving read-your-write ordering on the replica before the
+/// apply decision.
+fn serve_write(store: &Mutex<NodeStore>, job: Job, dequeued: u64, rmw: bool) {
+    let codec = if job.frame.flags & FLAG_COMPACT != 0 {
+        Codec::compact()
+    } else {
+        Codec::verbose()
+    };
+    let Some(write) = codec.decode_write(job.frame.payload.clone()) else {
+        return; // checksummed frame with an undecodable body: drop it
+    };
+    let (applied, version) = {
+        let mut guard = store.lock();
+        if rmw {
+            // The pre-image read is the "modify" input; the prototype's
+            // aggregation workload only needs its cost, not its value.
+            let _pre_image_cells = guard.get(&write.partition).len();
+        }
+        guard.apply(&write)
+    };
+    let ack = WriteAck {
+        request_id: write.request_id,
+        applied,
+        version,
+    };
+    let db_end = wall_ns();
+    let reply = Frame {
+        kind: FrameKind::WriteAck,
+        flags: job.frame.flags,
+        id: job.frame.id,
+        stamps: [job.frame.stamps[1], dequeued, db_end, wall_ns()],
+        deadline: job.frame.deadline,
+        payload: codec.encode_write_ack(&ack),
+    };
+    // Same per-connection write serialization as `reply_refusal` (waived
+    // KVS-L007); a failed write means the master hung up.
+    best_effort("write-ack write", reply.write_to(&mut *job.conn.lock()));
 }
 
 impl SlaveHandle {

@@ -51,4 +51,4 @@ pub use datamodels::DataModel;
 pub use keydist::{DistKind, KeyChooser, KeySpace, Latest, Zipfian};
 pub use queries::SpatialQuery;
 pub use surrogate::{SurrogateBackend, SurrogateConfig, SurrogateOutcome};
-pub use ycsb::{generate_ops, standard_mixes, MixSpec, Op, OpKind};
+pub use ycsb::{generate_ops, lower_ops, standard_mixes, Leg, LegKind, MixSpec, Op, OpKind};

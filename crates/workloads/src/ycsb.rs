@@ -8,27 +8,32 @@
 //! partition sub-requests the two executors (`cluster::sim` and
 //! `kvs-net`'s `NetMaster`) actually issue.
 //!
-//! ## Read-path emulation (why updates become reads)
+//! ## Lowering to typed legs (reads stay reads, writes are writes)
 //!
-//! The wire protocol and the simulator both model the paper's read-only
-//! aggregation query — there is no write request kind on frame v2. The
-//! driver therefore *emulates* mutating operations on the read path, and
-//! documents it (docs/WORKLOADS.md):
+//! Frame v2 carries write kinds (`Write`, `Rmw` — see `kvs-net`'s
+//! `write_path`), so mutating operations lower to *real* write frames
+//! ([`lower_ops`]):
 //!
-//! * an **update** issues one sub-request to the updated partition — the
-//!   same route, queue, and service shape a write coordinator would pay,
-//!   minus the memtable append (which is orders of magnitude cheaper
-//!   than the network + queue costs being measured);
-//! * a **read-modify-write** issues two sequential sub-requests to the
-//!   same partition (the read, then the write-back's round trip);
+//! * a **read** issues one `Read` leg to its partition;
+//! * an **update** issues one `Write` leg — a replicated LWW write of
+//!   fresh cells to the updated partition;
+//! * a **read-modify-write** issues one `Rmw` leg: a single frame whose
+//!   replica reads the partition pre-image under the same lock before
+//!   applying, then acknowledges like a write;
 //! * an **insert** activates the next sequential key — the keyspace
 //!   growth is visible to the `latest`/`zipfian` skews immediately — and
-//!   issues one sub-request to the newly active partition. Data for the
+//!   issues one `Write` leg to the newly active partition. Data for the
 //!   full final keyspace is pre-provisioned by the harness
 //!   ([`max_keyspace`] bounds it), so routes exist from the start;
-//! * a **scan** of length `L` issues `L` sub-requests to consecutively
+//! * a **scan** of length `L` issues `L` `Read` legs to consecutively
 //!   numbered partitions (the contiguous token-range read a real scan
 //!   performs), clamped so it never runs off the live keyspace.
+//!
+//! [`expand_requests`] is the *read-path projection* of the same stream:
+//! every leg priced as a request, RMW as its two sequential rounds. The
+//! deterministic executor (`cluster::sim`) uses it because the paper's
+//! cost model prices the aggregation read; the socket executor issues
+//! the typed legs.
 
 use crate::keydist::{DistKind, KeyChooser, KeySpace};
 use rand::rngs::StdRng;
@@ -251,10 +256,70 @@ pub fn generate_ops(spec: &MixSpec, initial_keys: u64, ops: u64, seed: u64) -> V
     out
 }
 
-/// Lowers operations to partition sub-requests: `(op index, key id)` per
-/// request, in issue order. Reads/updates/inserts issue one request,
-/// read-modify-writes two, scans one per covered key (see module docs
-/// for the emulation contract).
+/// The frame-level shape of one lowered sub-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegKind {
+    /// Read-path request (point read, or one leg of a scan fan-out).
+    Read,
+    /// Replicated last-write-wins write (update, insert).
+    Write,
+    /// Single-frame read-modify-write (pre-image read, then apply).
+    Rmw,
+}
+
+/// One lowered sub-request of an operation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Leg {
+    /// Index of the operation this leg belongs to.
+    pub op_ix: usize,
+    /// Target key id.
+    pub key: u64,
+    /// Which frame kind the leg issues.
+    pub kind: LegKind,
+}
+
+/// Lowers operations to typed legs in issue order (see module docs):
+/// reads and scans produce `Read` legs (one per covered key), updates
+/// and inserts one `Write` leg, read-modify-writes one `Rmw` leg.
+pub fn lower_ops(ops: &[Op]) -> Vec<Leg> {
+    let mut out = Vec::with_capacity(ops.len());
+    for (ix, op) in ops.iter().enumerate() {
+        match op.kind {
+            OpKind::Read => out.push(Leg {
+                op_ix: ix,
+                key: op.key,
+                kind: LegKind::Read,
+            }),
+            OpKind::Update | OpKind::Insert => out.push(Leg {
+                op_ix: ix,
+                key: op.key,
+                kind: LegKind::Write,
+            }),
+            OpKind::ReadModifyWrite => out.push(Leg {
+                op_ix: ix,
+                key: op.key,
+                kind: LegKind::Rmw,
+            }),
+            OpKind::Scan => {
+                for k in op.key..op.key + op.scan_len {
+                    out.push(Leg {
+                        op_ix: ix,
+                        key: k,
+                        kind: LegKind::Read,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lowers operations to the *read-path projection*: `(op index, key id)`
+/// per request, in issue order, with every leg shaped as a read request.
+/// Reads/updates/inserts issue one request, read-modify-writes two (the
+/// read round, then the write round's round trip), scans one per covered
+/// key. The deterministic executor prices this projection; the socket
+/// executor issues [`lower_ops`]' typed legs instead.
 pub fn expand_requests(ops: &[Op]) -> Vec<(usize, u64)> {
     let mut out = Vec::with_capacity(ops.len());
     for (ix, op) in ops.iter().enumerate() {
@@ -380,6 +445,69 @@ mod tests {
             reqs,
             vec![(0, 3), (1, 5), (1, 5), (2, 10), (2, 11), (2, 12)]
         );
+    }
+
+    #[test]
+    fn lowering_produces_typed_legs() {
+        let ops = vec![
+            Op {
+                kind: OpKind::Read,
+                key: 3,
+                scan_len: 1,
+            },
+            Op {
+                kind: OpKind::Update,
+                key: 4,
+                scan_len: 1,
+            },
+            Op {
+                kind: OpKind::ReadModifyWrite,
+                key: 5,
+                scan_len: 1,
+            },
+            Op {
+                kind: OpKind::Insert,
+                key: 6,
+                scan_len: 1,
+            },
+            Op {
+                kind: OpKind::Scan,
+                key: 10,
+                scan_len: 3,
+            },
+        ];
+        let legs = lower_ops(&ops);
+        let expect = |op_ix, key, kind| Leg { op_ix, key, kind };
+        assert_eq!(
+            legs,
+            vec![
+                expect(0, 3, LegKind::Read),
+                expect(1, 4, LegKind::Write),
+                expect(2, 5, LegKind::Rmw),
+                expect(3, 6, LegKind::Write),
+                expect(4, 10, LegKind::Read),
+                expect(4, 11, LegKind::Read),
+                expect(4, 12, LegKind::Read),
+            ]
+        );
+    }
+
+    #[test]
+    fn lowering_and_projection_agree_on_read_only_streams() {
+        let spec = standard_mixes()[3]; // short_scans: no writes
+        let ops = generate_ops(&spec, 64, 500, 9);
+        let legs = lower_ops(&ops);
+        let reqs = expand_requests(&ops);
+        assert_eq!(legs.len(), reqs.len());
+        for (leg, &(op_ix, key)) in legs.iter().zip(&reqs) {
+            assert_eq!((leg.op_ix, leg.key), (op_ix, key));
+            let expected = if ops[op_ix].kind == OpKind::Insert {
+                LegKind::Write
+            } else {
+                LegKind::Read
+            };
+            assert_eq!(leg.kind, expected);
+        }
     }
 
     #[test]
