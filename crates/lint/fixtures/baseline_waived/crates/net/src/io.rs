@@ -1,0 +1,6 @@
+//! Fixture: a finding covered by BOTH a waiver and a baseline entry.
+//! The waiver outranks the ratchet, but the entry must not read stale.
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

@@ -1,0 +1,22 @@
+//! Fixture: v2 frames that thread the incoming deadline — directly, via
+//! field shorthand through a parameter, and as a wall-clock budget.
+
+pub fn forward(node: u32, deadline: u64) -> Frame {
+    Frame {
+        kind: FrameKind::Write,
+        node,
+        deadline,
+    }
+}
+
+pub fn relay(node: u32, deadline: u64) -> Frame {
+    forward(node, deadline)
+}
+
+pub fn probe(node: u32) -> Frame {
+    Frame {
+        kind: FrameKind::Ping,
+        node,
+        deadline: wall_ns().saturating_add(1_000_000),
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a `LINT-ZONE: nonblocking` function whose whole reachable
+//! call set stays non-blocking.
+
+// LINT-ZONE: nonblocking — classification must never stall the loop.
+pub fn classify_ready(n: u64) -> bool {
+    scale(n) > 4
+}
+
+fn scale(n: u64) -> u64 {
+    n.saturating_mul(2)
+}

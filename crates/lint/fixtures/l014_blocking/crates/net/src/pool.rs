@@ -1,0 +1,18 @@
+//! Fixture: a `LINT-ZONE: nonblocking` function that reaches a blocking
+//! op two hops away through the call graph.
+
+use std::time::Duration;
+
+// LINT-ZONE: nonblocking — readiness verdicts must never stall the loop.
+pub fn classify(n: u64) -> u64 {
+    throttle(n)
+}
+
+fn throttle(n: u64) -> u64 {
+    backoff();
+    n
+}
+
+fn backoff() {
+    std::thread::sleep(Duration::from_millis(1));
+}

@@ -1,0 +1,25 @@
+//! Fixture: the real flush shape — SST write, WAL rotation, manifest
+//! commit, GC — with the CrashPoint-guarded GC step hoisted above the
+//! commit. A crash between the two deletes the only durable copy.
+
+fn write_sst(path: &str, data: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(data)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+fn rotate_wal(wal: &mut WalWriter) -> std::io::Result<()> {
+    wal.seal()?;
+    Ok(())
+}
+
+pub fn flush(store: &mut Store, data: &[u8]) -> std::io::Result<()> {
+    write_sst("001.sst", data)?;
+    store.crash.fire(CrashPoint::AfterSstWrite);
+    rotate_wal(&mut store.wal)?;
+    store.crash.fire(CrashPoint::AfterWalRotate);
+    std::fs::remove_file("000.sst")?;
+    store.manifest.commit("001.sst")?;
+    Ok(())
+}

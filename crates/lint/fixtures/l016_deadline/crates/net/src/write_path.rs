@@ -1,0 +1,24 @@
+//! Fixture: v2 frames minting fresh deadlines — one directly in the
+//! literal, one laundered through a parameter and caught at the call
+//! site.
+
+pub fn forward(node: u32, payload: Vec<u8>) -> Frame {
+    Frame {
+        kind: FrameKind::Write,
+        node,
+        payload,
+        deadline: u64::MAX,
+    }
+}
+
+fn send_frame(node: u32, deadline: u64) -> Frame {
+    Frame {
+        kind: FrameKind::Replay,
+        node,
+        deadline,
+    }
+}
+
+pub fn replay(node: u32) -> Frame {
+    send_frame(node, 0)
+}

@@ -121,8 +121,16 @@ pub fn freeze(
 /// Splits post-waiver failing findings into (still-failing, baselined)
 /// and appends a `KVS-L000` for every stale entry. Multiset semantics:
 /// each entry covers at most one finding.
+///
+/// `waived` carries the findings the waiver pass already absorbed. An
+/// entry that matches no failing finding but *does* match a waived one
+/// is counted as used rather than stale: the debt still exists in the
+/// tree — a waiver merely outranks the baseline for the same site — so
+/// flagging the entry as paid-down would be a lie, and deleting it
+/// would let the finding fail the moment the waiver is retired.
 pub fn apply(
     failing: Vec<Diagnostic>,
+    waived: &[Diagnostic],
     entries: &[Entry],
     baseline_file: &str,
     raw_line: impl Fn(&str, usize) -> Option<String>,
@@ -130,20 +138,30 @@ pub fn apply(
     let mut used = vec![false; entries.len()];
     let mut still = Vec::new();
     let mut baselined = Vec::new();
-    for d in failing {
-        let hit = entries.iter().enumerate().position(|(ix, e)| {
+    let matches = |used: &[bool], d: &Diagnostic| {
+        entries.iter().enumerate().position(|(ix, e)| {
             !used[ix]
                 && e.rule == d.rule
                 && e.path == d.path
                 && (e.contains.is_empty()
                     || raw_line(&d.path, d.line).is_some_and(|raw| raw.contains(&e.contains)))
-        });
-        match hit {
+        })
+    };
+    for d in failing {
+        match matches(&used, &d) {
             Some(ix) => {
                 used[ix] = true;
                 baselined.push(d);
             }
             None => still.push(d),
+        }
+    }
+    // Waived findings consume entries without demoting anything: the
+    // waiver already handled the finding, the baseline entry just must
+    // not read as stale while the site it froze is still in the tree.
+    for d in waived {
+        if let Some(ix) = matches(&used, d) {
+            used[ix] = true;
         }
     }
     for (ix, e) in entries.iter().enumerate() {
@@ -203,6 +221,7 @@ mod tests {
         // Two identical findings, one entry: one demoted, one still fails.
         let (still, base) = apply(
             vec![diag("KVS-L004", "a.rs", 3), diag("KVS-L004", "a.rs", 9)],
+            &[],
             &entries,
             BASELINE_FILE,
             |_, _| Some("x.unwrap()".to_string()),
@@ -219,10 +238,39 @@ mod tests {
             path: "gone.rs".to_string(),
             contains: "x.unwrap()".to_string(),
         }];
-        let (still, base) = apply(Vec::new(), &entries, BASELINE_FILE, |_, _| None);
+        let (still, base) = apply(Vec::new(), &[], &entries, BASELINE_FILE, |_, _| None);
         assert!(base.is_empty());
         assert_eq!(still.len(), 1);
         assert_eq!(still[0].rule, "KVS-L000");
         assert_eq!(still[0].path, BASELINE_FILE);
+    }
+
+    #[test]
+    fn entry_covered_by_a_waived_finding_is_not_stale() {
+        let entries = vec![Entry {
+            rule: "KVS-L004".to_string(),
+            path: "a.rs".to_string(),
+            contains: "x.unwrap()".to_string(),
+        }];
+        // The finding was absorbed by a waiver, so nothing is failing —
+        // but the site is still in the tree, so the entry is not stale.
+        let waived = vec![diag("KVS-L004", "a.rs", 3)];
+        let (still, base) = apply(Vec::new(), &waived, &entries, BASELINE_FILE, |_, _| {
+            Some("x.unwrap()".to_string())
+        });
+        assert!(base.is_empty());
+        assert!(still.is_empty(), "waived coverage must suppress KVS-L000");
+        // A waived finding never demotes: failing diagnostics that miss
+        // every remaining entry still fail.
+        let (still, base) = apply(
+            vec![diag("KVS-L004", "b.rs", 1)],
+            &waived,
+            &entries,
+            BASELINE_FILE,
+            |_, _| Some("x.unwrap()".to_string()),
+        );
+        assert!(base.is_empty());
+        assert_eq!(still.len(), 1);
+        assert_eq!(still[0].path, "b.rs");
     }
 }

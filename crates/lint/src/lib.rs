@@ -15,6 +15,11 @@
 //! cycles, channel topology, stage-stamp dataflow, frame-kind
 //! exhaustiveness), and a reporting layer with SARIF/JSON output
 //! ([`sarif`], [`json`]) and a frozen-debt ratchet ([`baseline`]).
+//! PR 9 adds the interprocedural layer — a workspace call graph
+//! ([`callgraph`]) and per-function control-flow graphs ([`cfg`]) that
+//! power blocking-reachability, crash-ordering and deadline-propagation
+//! passes — and parallelizes the per-file scan on a std-only worker
+//! pool ([`ScanMode`]).
 //!
 //! Deliberately dependency-free (std only): this crate is the tool that
 //! guards the shims, so it must build even when every shim is broken.
@@ -27,6 +32,7 @@
 //! $ cargo run -p kvs-lint -- rules            # list rule IDs
 //! $ cargo run -p kvs-lint -- waivers          # waivers with hit counts
 //! $ cargo run -p kvs-lint -- baseline --update
+//! $ cargo run -p kvs-lint -- bench --output target/figures/BENCH_lint.json
 //! ```
 //!
 //! See `docs/LINT.md` for the architecture and the full rule catalogue.
@@ -34,6 +40,8 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod cfg;
 pub mod json;
 pub mod passes;
 pub mod rules;
@@ -111,9 +119,86 @@ fn rel_of(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// How the per-file scan/tokenize phase executes.
+///
+/// Scanning is embarrassingly parallel — each file's read, line
+/// classification and tokenization touches nothing shared — and it
+/// dominates wall-clock on large trees, so [`check_workspace`] defaults
+/// to [`ScanMode::Parallel`]. Both modes produce byte-identical
+/// results: the pool reassembles files in path order before any rule
+/// runs, so scheduling can never reorder diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Scan one file at a time on the calling thread.
+    Serial,
+    /// Scan on a fixed pool of `std::thread::scope` workers (capped at
+    /// 8), stride-partitioned over the sorted path list.
+    Parallel,
+}
+
+/// Reads and scans `paths` under `mode`. Worker `k` of `n` handles
+/// indices `k, k+n, k+2n, …` and reports `(index, file)` pairs; the
+/// parent reassembles them by index, so output order is the sorted path
+/// order regardless of thread scheduling.
+fn scan_files(root: &Path, paths: &[PathBuf], mode: ScanMode) -> io::Result<Vec<SourceFile>> {
+    let workers = match mode {
+        ScanMode::Serial => 1,
+        ScanMode::Parallel => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8),
+    };
+    if workers <= 1 || paths.len() <= 1 {
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let text = fs::read_to_string(path)?;
+            files.push(SourceFile::scan(&rel_of(root, path), &text));
+        }
+        return Ok(files);
+    }
+    let results: Vec<io::Result<Vec<(usize, SourceFile)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|k| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for ix in (k..paths.len()).step_by(workers) {
+                        let text = fs::read_to_string(&paths[ix])?;
+                        out.push((ix, SourceFile::scan(&rel_of(root, &paths[ix]), &text)));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(io::Error::other("scan worker panicked")),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<SourceFile>> = Vec::new();
+    slots.resize_with(paths.len(), || None);
+    for r in results {
+        for (ix, file) in r? {
+            slots[ix] = Some(file);
+        }
+    }
+    // Every index is visited by exactly one worker, so every slot is
+    // filled once all workers have returned Ok.
+    Ok(slots.into_iter().flatten().collect())
+}
+
 /// Lints the workspace rooted at `root` (the directory holding `crates/`,
-/// `shims/`, `docs/` and optionally [`WAIVER_FILE`]).
+/// `shims/`, `docs/` and optionally [`WAIVER_FILE`]), scanning files on
+/// the parallel worker pool. Use [`check_workspace_with`] to pin the
+/// scan mode (the bench subcommand times both).
 pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
+    check_workspace_with(root, ScanMode::Parallel)
+}
+
+/// [`check_workspace`] with an explicit [`ScanMode`].
+pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> {
     let mut paths = Vec::new();
     for top in ["crates", "shims"] {
         let dir = root.join(top);
@@ -121,11 +206,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
             walk_rs(&dir, &mut paths)?;
         }
     }
-    let mut files = Vec::with_capacity(paths.len());
-    for path in &paths {
-        let text = fs::read_to_string(path)?;
-        files.push(SourceFile::scan(&rel_of(root, path), &text));
-    }
+    let files = scan_files(root, &paths, mode)?;
     let files_scanned = files.len();
 
     let load_md = |name: &str| -> io::Result<Option<(String, Vec<String>)>> {
@@ -221,8 +302,13 @@ pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
         None
     };
     let applied = waiver::apply(raw, &waivers, WAIVER_FILE, raw_line);
+    // Waived findings are passed through so a baseline entry that is
+    // also covered by a waiver reads as *used*, not stale (the site is
+    // still in the tree; the waiver merely outranks the ratchet).
+    let waived_findings: Vec<Diagnostic> = applied.waived.iter().map(|(d, _)| d.clone()).collect();
     let (mut diagnostics, mut baselined) = baseline::apply(
         applied.failing,
+        &waived_findings,
         &baseline_entries,
         baseline::BASELINE_FILE,
         raw_line,

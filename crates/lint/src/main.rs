@@ -5,6 +5,7 @@
 //! $ kvs-lint rules
 //! $ kvs-lint waivers [--root <path>]
 //! $ kvs-lint baseline [--root <path>] [--update]
+//! $ kvs-lint bench [--root <path>] [--output <file>]
 //! ```
 
 use std::path::PathBuf;
@@ -12,13 +13,14 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: kvs-lint <check|rules|waivers|baseline> [--root <path>] \
+        "usage: kvs-lint <check|rules|waivers|baseline|bench> [--root <path>] \
          [--format text|json|sarif] [--output <file>] [--update]"
     );
     eprintln!("  check     lint the workspace; exit 0 when clean, 1 on violations");
     eprintln!("  rules     list rule IDs and what they enforce");
     eprintln!("  waivers   list waivers with how many findings each suppressed this run");
     eprintln!("  baseline  report ratchet status; --update re-freezes lint.baseline.json");
+    eprintln!("  bench     time serial vs parallel scans, emit a kvs-bench/v1 report");
     ExitCode::from(2)
 }
 
@@ -40,7 +42,7 @@ fn parse_args() -> Result<Cli, ExitCode> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "check" | "rules" | "waivers" | "baseline" if cmd.is_none() => {
+            "check" | "rules" | "waivers" | "baseline" | "bench" if cmd.is_none() => {
                 cmd = Some(a.clone());
             }
             "--root" => match it.next() {
@@ -91,6 +93,9 @@ fn main() -> ExitCode {
             println!("{id}  {summary}");
         }
         return ExitCode::SUCCESS;
+    }
+    if cli.cmd == "bench" {
+        return bench(&cli);
     }
     let outcome = match kvs_lint::check_workspace(&cli.root) {
         Ok(o) => o,
@@ -204,6 +209,79 @@ fn render_json(outcome: &kvs_lint::Outcome) -> String {
     .to_pretty()
 }
 
+/// `kvs-lint bench`: runs the full check twice — serial scan, then the
+/// worker pool — cross-checks that both modes produced identical
+/// diagnostics, and emits a `kvs-bench/v1` report (`bench` is `"lint"`,
+/// so the CI artifact is `BENCH_lint.json`). Deliberately no `p99_ms`
+/// keys: the trend gate compares latency percentiles only, and a lint
+/// wall-clock is a single measurement, not a distribution.
+fn bench(cli: &Cli) -> ExitCode {
+    use kvs_lint::json::{obj, s, Value};
+    use std::time::Instant;
+    let timed = |mode: kvs_lint::ScanMode| -> Result<(kvs_lint::Outcome, f64), ExitCode> {
+        let t = Instant::now();
+        match kvs_lint::check_workspace_with(&cli.root, mode) {
+            Ok(o) => Ok((o, t.elapsed().as_secs_f64() * 1e3)),
+            Err(e) => {
+                eprintln!("kvs-lint: cannot scan {}: {e}", cli.root.display());
+                Err(ExitCode::from(2))
+            }
+        }
+    };
+    let (serial, serial_ms) = match timed(kvs_lint::ScanMode::Serial) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    let (parallel, parallel_ms) = match timed(kvs_lint::ScanMode::Parallel) {
+        Ok(x) => x,
+        Err(code) => return code,
+    };
+    if serial.diagnostics != parallel.diagnostics
+        || serial.baselined != parallel.baselined
+        || serial.waived != parallel.waived
+    {
+        eprintln!("kvs-lint: serial and parallel scans disagree — scan determinism bug");
+        return ExitCode::FAILURE;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    let report = obj(vec![
+        ("schema", s("kvs-bench/v1")),
+        ("bench", s("lint")),
+        (
+            "config",
+            obj(vec![
+                ("root", s(&cli.root.display().to_string())),
+                ("threads", Value::Num(threads as f64)),
+            ]),
+        ),
+        (
+            "results",
+            obj(vec![
+                ("files_scanned", Value::Num(serial.files_scanned as f64)),
+                ("findings", Value::Num(serial.diagnostics.len() as f64)),
+                ("waived", Value::Num(serial.waived.len() as f64)),
+                ("baselined", Value::Num(serial.baselined.len() as f64)),
+                ("serial_ms", Value::Num(serial_ms)),
+                ("parallel_ms", Value::Num(parallel_ms)),
+                ("speedup", Value::Num(serial_ms / parallel_ms.max(1e-9))),
+            ]),
+        ),
+    ]);
+    if let Err(code) = emit(cli, &report.to_pretty()) {
+        return code;
+    }
+    if cli.output.is_some() {
+        println!(
+            "kvs-lint: bench — {} files, serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms",
+            serial.files_scanned
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn waivers(outcome: &kvs_lint::Outcome) -> ExitCode {
     if outcome.waiver_hits.is_empty() {
         println!("kvs-lint: no waivers on file");
@@ -225,6 +303,19 @@ fn waivers(outcome: &kvs_lint::Outcome) -> ExitCode {
             format!("{} ({})", w.path, truncate(&w.contains, 24)),
             w.owner
         );
+    }
+    if stale > 0 {
+        // Fail pointing at each stale entry's own `file:line` — the
+        // `KVS-L000` diagnostics the check pass minted carry the
+        // `[[waiver]]` header line, so the fix is one jump away. The
+        // old exit only printed the count.
+        for d in outcome
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "KVS-L000" && d.path == kvs_lint::WAIVER_FILE)
+        {
+            println!("{d}");
+        }
     }
     println!(
         "kvs-lint: {} waiver(s), {} suppressed finding(s), {} stale",

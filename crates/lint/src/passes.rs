@@ -1,4 +1,5 @@
-//! Semantic passes over token trees: KVS-L009 … KVS-L012.
+//! Semantic passes over token trees: KVS-L009 … KVS-L012 and the
+//! interprocedural rules KVS-L014 … KVS-L016.
 //!
 //! These are whole-program checks in the spirit of lightweight model
 //! checking — not a runtime explorer, but build-time extraction of the
@@ -6,8 +7,11 @@
 //!
 //! * **KVS-L009** collects every `Mutex`/`RwLock` acquisition in
 //!   `net`/`cluster`, builds the acquired-while-held edge set per function
-//!   (with call-edge propagation one level deep) and fails on any cycle —
-//!   a deadlock candidate — with the full witness path.
+//!   (with call-edge propagation one level deep over the real call graph)
+//!   and fails on any cycle — a deadlock candidate — with the full
+//!   witness path. The same propagation feeds the interprocedural half of
+//!   **KVS-L007**: a call made while a guard is held must not transitively
+//!   reach a blocking op.
 //! * **KVS-L010** pairs channel/queue endpoints by construction site,
 //!   flags unbounded channels (waivable for the documented response
 //!   paths) and sends without a matching drain.
@@ -19,6 +23,25 @@
 //! * **KVS-L012** requires every `match` on the frame kind in
 //!   `master.rs`/`server.rs`/`chaos.rs` to handle all kinds declared in
 //!   `frame.rs`, or to carry an explicitly waived wildcard.
+//! * **KVS-L014** walks the workspace call graph ([`crate::callgraph`])
+//!   from every function anchored `// LINT-ZONE: nonblocking` and fails
+//!   if any blocking op (lock/condvar wait, blocking socket or file I/O,
+//!   fsync, `thread::sleep`, blocking channel recv, `join`) is
+//!   transitively reachable, with the witness chain `file:line → …`.
+//! * **KVS-L015** checks the durable commit paths in
+//!   `store/src/{manifest,durable,wal}.rs` against the docs/STORE.md
+//!   ordering contract — write → fsync → rename → dir-fsync — as CFG
+//!   statement order ([`crate::cfg`]), with one level of call
+//!   propagation (a call to a function that fsyncs, e.g. `write_sst`,
+//!   counts as a sync step), and that SSTable GC can never run before
+//!   the manifest commit that unreferences the files it deletes.
+//! * **KVS-L016** extends L011 across function boundaries: every v2
+//!   `Frame` literal on the request paths must thread an incoming
+//!   deadline (value mentions `deadline`, or is a wall-clock portal
+//!   expression with an explicit budget). When the value is a parameter,
+//!   every call site is checked instead — passing a literal `0` or
+//!   `u64::MAX` mints a fresh no-deadline frame and breaks expiry
+//!   propagation.
 //!
 //! Heuristic boundaries (documented so nobody re-learns them): lock
 //! identity is the receiver's trailing field/binding name, crate-
@@ -27,12 +50,18 @@
 //! and same-statement nesting; statement temporaries
 //! (`table.lock().get(…)`) release before the next statement and create
 //! no held state. Closures passed to `spawn` run on another thread and
-//! are analyzed as separate synthetic functions. Call-edge propagation
-//! covers bare free-function calls and `self.method(…)` calls, one level
-//! deep, within the same crate.
+//! are analyzed as separate synthetic functions. Reachability (L007's
+//! interprocedural half and L014's zone traversal) follows only
+//! `Free`/`SelfMethod`/`Path` call edges — may-call method edges alias
+//! bare names like `get` across the whole workspace and would drown
+//! every query in false paths. A direct blocking method call
+//! (`rx.recv()`, `stream.write_all(…)`) in any *reached* function still
+//! surfaces, because each node's recorded ops carry method names too.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use crate::callgraph::{self, CallGraph, EdgeKind};
+use crate::cfg;
 use crate::rules::{Diagnostic, Workspace};
 use crate::scan::SourceFile;
 use crate::token::{Tok, TokKind};
@@ -40,11 +69,41 @@ use crate::tree::{self, Delim, Group, Tree};
 
 /// Runs all semantic passes.
 pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
-    lock_order(ws, out);
+    let cg = callgraph::build(ws);
+    lock_order(ws, &cg, out);
     channel_topology(ws, out);
     stamp_dataflow(ws, out);
     kind_exhaustiveness(ws, out);
+    blocking_reachability(&cg, out);
+    crash_ordering(ws, &cg, out);
+    deadline_propagation(ws, &cg, out);
 }
+
+/// Call names that block the calling thread: condvar and channel waits,
+/// blocking socket/file I/O, fsync, `thread::sleep`. `join` is excluded
+/// (it would alias ubiquitous slice `join`); `send`/`push` are L010's
+/// concern — bounded-vs-unbounded is a construction-site property this
+/// name set cannot see.
+const BLOCKING_OPS: &[&str] = &[
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "recv",
+    "recv_timeout",
+    "write_all",
+    "read_exact",
+    "write_to",
+    "read_from",
+    "accept",
+    "connect",
+    "sleep",
+    "sync_all",
+    "sync_data",
+];
+
+/// Additionally blocking from inside a declared non-blocking zone: lock
+/// acquisition itself waits on the owner.
+const ZONE_EXTRA_BLOCKING: &[&str] = &["lock"];
 
 fn in_net_or_cluster_src(rel: &str) -> bool {
     rel.starts_with("crates/net/src/") || rel.starts_with("crates/cluster/src/")
@@ -208,10 +267,7 @@ impl<'a> LockCollector<'a> {
                     i += 2;
                     continue;
                 }
-                if !held.is_empty()
-                    && !NON_CALL_KEYWORDS.contains(&name)
-                    && self.callee_shape_ok(stmt, i)
-                {
+                if !held.is_empty() && !NON_CALL_KEYWORDS.contains(&name) {
                     self.calls.push(HeldCall {
                         held: held.iter().map(|(h, _)| h.clone()).collect(),
                         callee: name.to_string(),
@@ -256,24 +312,6 @@ impl<'a> LockCollector<'a> {
             break;
         }
         None
-    }
-
-    /// Only bare free-function calls and `self.method(…)` calls
-    /// propagate: method calls on locals (`registry.push(…)`) and path
-    /// calls (`AtomicU64::new(…)`) would alias unrelated functions.
-    fn callee_shape_ok(&self, stmt: &[Tree], i: usize) -> bool {
-        if i == 0 {
-            return true; // bare call at statement start
-        }
-        if is_punct(self.src, self.toks, &stmt[i - 1], ".") {
-            return i >= 2
-                && leaf_text(self.src, self.toks, &stmt[i - 2]) == Some("self")
-                && (i < 3 || !is_punct(self.src, self.toks, &stmt[i - 3], "."));
-        }
-        if is_punct(self.src, self.toks, &stmt[i - 1], ":") {
-            return false; // path call
-        }
-        true
     }
 
     /// Binds `let [mut] NAME = ….lock();` as a held guard for the rest of
@@ -332,11 +370,11 @@ impl<'a> LockCollector<'a> {
     }
 }
 
-fn lock_order(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+fn lock_order(ws: &Workspace, cg: &CallGraph, out: &mut Vec<Diagnostic>) {
     let mut edges: Vec<LockEdge> = Vec::new();
     let mut calls: Vec<HeldCall> = Vec::new();
-    // (crate, fn name) → locks that function acquires anywhere.
-    let mut index: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    // Call-graph node → locks that function acquires anywhere.
+    let mut acquired: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
 
     for f in &ws.files {
         if !in_net_or_cluster_src(&f.rel) {
@@ -369,20 +407,46 @@ fn lock_order(ws: &Workspace, out: &mut Vec<Diagnostic>) {
                 queue.append(&mut c.spawned);
             }
             c.facts = outer;
-            index
-                .entry((crate_key(&f.rel).to_string(), def.name))
-                .or_default()
-                .extend(c.facts.acquired.iter().cloned());
+            if let Some(node) = cg.fn_at(&f.rel, def.line) {
+                acquired
+                    .entry(node)
+                    .or_default()
+                    .extend(c.facts.acquired.iter().cloned());
+            }
             edges.append(&mut c.edges);
             calls.append(&mut c.calls);
         }
     }
 
+    // Call-site resolution over the real call graph: a held call at
+    // (file, line, name) resolves to the same-crate `Free`/`SelfMethod`
+    // edges the graph recorded there — method calls on locals and
+    // cross-crate paths alias too loosely to propagate.
+    let mut site: BTreeMap<(&str, usize, &str), Vec<usize>> = BTreeMap::new();
+    for (caller, es) in cg.edges.iter().enumerate() {
+        for e in es {
+            if !matches!(e.kind, EdgeKind::Free | EdgeKind::SelfMethod) {
+                continue;
+            }
+            if crate_key(&cg.fns[e.callee].file) != crate_key(&cg.fns[caller].file) {
+                continue;
+            }
+            site.entry((cg.fns[caller].file.as_str(), e.line, e.name.as_str()))
+                .or_default()
+                .push(e.callee);
+        }
+    }
+
     // One level of call-edge propagation: a call made while holding H, to
-    // a same-crate function that acquires L, is an H → L edge.
+    // a function that acquires L, is an H → L edge.
     for call in &calls {
-        let ck = crate_key(&call.file).to_string();
-        if let Some(locks) = index.get(&(ck, call.callee.clone())) {
+        let Some(callees) = site.get(&(call.file.as_str(), call.line, call.callee.as_str())) else {
+            continue;
+        };
+        for &callee in callees {
+            let Some(locks) = acquired.get(&callee) else {
+                continue;
+            };
             for l in locks {
                 for h in &call.held {
                     edges.push(LockEdge {
@@ -394,6 +458,43 @@ fn lock_order(ws: &Workspace, out: &mut Vec<Diagnostic>) {
                     });
                 }
             }
+        }
+    }
+
+    // KVS-L007, interprocedural half: a call made while a guard is held
+    // must not transitively reach a blocking op. The same-line case is
+    // the line rule in `rules.rs`; this covers the chain the ROADMAP's
+    // epoll rewrite would otherwise hit blind.
+    let mut l007_sites: BTreeSet<(String, usize)> = BTreeSet::new();
+    for call in &calls {
+        let Some(callees) = site.get(&(call.file.as_str(), call.line, call.callee.as_str())) else {
+            continue;
+        };
+        for &callee in callees {
+            let Some((node, op_line, op, parent)) = blocking_reach(cg, callee) else {
+                continue;
+            };
+            if !l007_sites.insert((call.file.clone(), call.line)) {
+                continue;
+            }
+            let chain = format!(
+                "{}:{} → {}",
+                call.file,
+                call.line,
+                cg.witness(callee, node, &parent, op_line)
+            );
+            out.push(Diagnostic {
+                rule: "KVS-L007",
+                path: call.file.clone(),
+                line: call.line,
+                message: format!(
+                    "guard `{}` held across call to `{}()` which reaches blocking `{}`: {}",
+                    call.held.join("`, `"),
+                    call.callee,
+                    op,
+                    chain
+                ),
+            });
         }
     }
 
@@ -596,12 +697,19 @@ fn stamp_dataflow(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Walks every sibling list looking for `Frame { … }` literals.
-fn check_frame_literals(f: &SourceFile, src: &str, trees: &[Tree], out: &mut Vec<Diagnostic>) {
+/// Walks every sibling list, invoking `cb` on each non-test
+/// `Frame { … }` struct literal with its body group and line. Shared by
+/// KVS-L011 (stamp slots) and KVS-L016 (deadline threading).
+fn for_each_frame_literal<'t>(
+    f: &SourceFile,
+    src: &str,
+    trees: &'t [Tree],
+    cb: &mut dyn FnMut(&'t Group, usize),
+) {
     let toks = &f.toks;
     for (i, t) in trees.iter().enumerate() {
         if let Tree::Group(g) = t {
-            check_frame_literals(f, src, &g.children, out);
+            for_each_frame_literal(f, src, &g.children, cb);
         }
         let is_frame = matches!(t, Tree::Leaf(ix) if toks[*ix].text(src) == "Frame");
         if !is_frame {
@@ -624,8 +732,15 @@ fn check_frame_literals(f: &SourceFile, src: &str, trees: &[Tree], out: &mut Vec
         if f.line_in_test(line) {
             continue;
         }
-        check_one_frame(f, src, body, line, out);
+        cb(body, line);
     }
+}
+
+/// Walks every sibling list looking for `Frame { … }` literals.
+fn check_frame_literals(f: &SourceFile, src: &str, trees: &[Tree], out: &mut Vec<Diagnostic>) {
+    for_each_frame_literal(f, src, trees, &mut |body, line| {
+        check_one_frame(f, src, body, line, out);
+    });
 }
 
 /// Field value trees for `name:` inside a struct-literal body.
@@ -1034,6 +1149,329 @@ fn arm_patterns(src: &str, toks: &[Tok], body: &Group) -> Vec<String> {
     arms
 }
 
+// ---------------------------------------------------------------------------
+// KVS-L014: blocking-call reachability from non-blocking zones.
+// ---------------------------------------------------------------------------
+
+/// BFS over `Free`/`SelfMethod`/`Path` edges only, returning the parent
+/// map [`CallGraph::witness`] needs. May-call `Method` edges are *not*
+/// traversed: bare names like `get`/`map` alias across the whole
+/// workspace and would drown every reachability query in false paths. A
+/// blocking method call (`rx.recv()`, `stream.write_all(…)`) still
+/// surfaces, because each reached node's `ops` records it by name.
+fn reach_parents(cg: &CallGraph, root: usize) -> BTreeMap<usize, (usize, usize)> {
+    let mut parent: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    let mut seen = vec![false; cg.fns.len()];
+    seen[root] = true;
+    let mut queue = VecDeque::from([root]);
+    while let Some(n) = queue.pop_front() {
+        for e in &cg.edges[n] {
+            if matches!(e.kind, EdgeKind::Method) {
+                continue;
+            }
+            if !seen[e.callee] {
+                seen[e.callee] = true;
+                parent.insert(e.callee, (n, e.line));
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    parent
+}
+
+/// A blocking-reachability hit: the reached node, the op's line, the
+/// op's name, and the parent map needed to rebuild the witness chain.
+type BlockingHit = (usize, usize, String, BTreeMap<usize, (usize, usize)>);
+
+/// Blocking-reachability probe for the L007 interprocedural check: the
+/// first reachable node (in node order) whose body contains a blocking
+/// op, with the parent map needed to rebuild the witness chain.
+fn blocking_reach(cg: &CallGraph, root: usize) -> Option<BlockingHit> {
+    let parent = reach_parents(cg, root);
+    for n in std::iter::once(root).chain(parent.keys().copied()) {
+        if let Some((line, op)) = cg.fns[n]
+            .ops
+            .iter()
+            .find(|(_, name)| BLOCKING_OPS.contains(&name.as_str()))
+        {
+            return Some((n, *line, op.clone(), parent));
+        }
+    }
+    None
+}
+
+/// KVS-L014: nothing reachable from a `// LINT-ZONE: nonblocking`
+/// function may block. Each diagnostic anchors at the zone's `fn` line
+/// and carries the full witness chain.
+fn blocking_reachability(cg: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let block: BTreeSet<&str> = BLOCKING_OPS
+        .iter()
+        .chain(ZONE_EXTRA_BLOCKING)
+        .copied()
+        .collect();
+    for (root, f) in cg.fns.iter().enumerate() {
+        if f.zone.as_deref() != Some("nonblocking") {
+            continue;
+        }
+        let parent = reach_parents(cg, root);
+        for n in std::iter::once(root).chain(parent.keys().copied()) {
+            let Some((line, op)) = cg.fns[n]
+                .ops
+                .iter()
+                .find(|(_, name)| block.contains(name.as_str()))
+            else {
+                continue;
+            };
+            out.push(Diagnostic {
+                rule: "KVS-L014",
+                path: f.file.clone(),
+                line: f.line,
+                message: format!(
+                    "non-blocking zone `{}` can reach blocking `{}`: {}",
+                    f.name,
+                    op,
+                    cg.witness(root, n, &parent, *line)
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KVS-L015: crash ordering on the durable commit paths.
+// ---------------------------------------------------------------------------
+
+/// Files whose commit paths carry the docs/STORE.md ordering contract.
+fn crash_scope(rel: &str) -> bool {
+    [
+        "store/src/manifest.rs",
+        "store/src/durable.rs",
+        "store/src/wal.rs",
+    ]
+    .iter()
+    .any(|s| rel.ends_with(s))
+}
+
+/// KVS-L015: the docs/STORE.md durability contract — write → fsync →
+/// rename → dir-fsync, and GC strictly after the manifest commit — as CFG
+/// statement order. One level of call propagation: a statement calling a
+/// workspace function whose body fsyncs (`write_sst`,
+/// `WalWriter::create`, …) counts as a sync step; methods are
+/// receiver-qualified so `File::create` never matches
+/// `WalWriter::create`. "Preceded by" checks are universal over paths;
+/// "followed by" checks are existential (can the dir-fsync be reached at
+/// all) because `?` error edges legitimately exit before it.
+fn crash_ordering(ws: &Workspace, cg: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let mut sync_pats: BTreeSet<String> = BTreeSet::new();
+    for f in &cg.fns {
+        if f.ops
+            .iter()
+            .any(|(_, n)| n == "sync_all" || n == "sync_data")
+        {
+            sync_pats.insert(match &f.receiver {
+                Some(r) => format!("{r}::{}(", f.name),
+                None => format!("{}(", f.name),
+            });
+        }
+    }
+    let is_sync = |text: &str| {
+        text.contains("sync_all(")
+            || text.contains("sync_data(")
+            || sync_pats.iter().any(|p| text.contains(p.as_str()))
+    };
+    for f in &ws.files {
+        if !crash_scope(&f.rel) {
+            continue;
+        }
+        let src = f.text.as_str();
+        let trees = tree::build(src, &f.toks);
+        for def in tree::functions(src, &f.toks, &trees) {
+            if f.line_in_test(def.line) {
+                continue;
+            }
+            let g = cfg::build(src, &f.toks, def.body);
+            let diag = |line: usize, message: String| Diagnostic {
+                rule: "KVS-L015",
+                path: f.rel.clone(),
+                line,
+                message,
+            };
+            for r in g.find(|t| t.contains("rename(")) {
+                if let Some(p) = g.path_avoiding(r, |n| is_sync(&g.stmts[n].text)) {
+                    out.push(diag(
+                        g.stmts[r].line,
+                        format!(
+                            "rename is reachable without a preceding fsync — a crash can \
+                             publish unsynced data (docs/STORE.md order: write → fsync → \
+                             rename → dir-fsync): {}",
+                            g.witness(&f.rel, &p)
+                        ),
+                    ));
+                }
+                let dir_syncs = g.find(|t| t.contains("sync_all("));
+                if !dir_syncs.iter().any(|&s| s != r && g.reaches(r, s)) {
+                    out.push(diag(
+                        g.stmts[r].line,
+                        "rename is never followed by a directory fsync — a crash can lose \
+                         the directory entry (docs/STORE.md order: write → fsync → rename → \
+                         dir-fsync)"
+                            .to_string(),
+                    ));
+                }
+            }
+            for c in g.find(|t| t.contains(".commit(")) {
+                if let Some(p) = g.path_avoiding(c, |n| is_sync(&g.stmts[n].text)) {
+                    out.push(diag(
+                        g.stmts[c].line,
+                        format!(
+                            "manifest commit is reachable without a preceding sync of the \
+                             data it references (docs/STORE.md: every path to a commit must \
+                             pass a sync): {}",
+                            g.witness(&f.rel, &p)
+                        ),
+                    ));
+                }
+                for rm in g.find(|t| t.contains("remove_file(")) {
+                    if rm != c && g.reaches(rm, c) {
+                        out.push(diag(
+                            g.stmts[rm].line,
+                            format!(
+                                "GC (remove_file) can run before the manifest commit that \
+                                 unreferences it — a crash between them loses the only \
+                                 durable copy: {}:{} → {}:{}",
+                                f.rel, g.stmts[rm].line, f.rel, g.stmts[c].line
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KVS-L016: deadline propagation across call sites.
+// ---------------------------------------------------------------------------
+
+/// Deadline values that mint a fresh no-deadline frame.
+const FRESH_DEADLINES: &[&str] = &["0", "u64::MAX", "NO_DEADLINE"];
+
+/// True when the struct-literal body initializes `name` via field
+/// shorthand (`Frame { …, deadline, … }`).
+fn has_shorthand_field(src: &str, toks: &[Tok], body: &Group, name: &str) -> bool {
+    let ch = &body.children;
+    ch.iter().enumerate().any(|(i, t)| {
+        leaf_text(src, toks, t) == Some(name)
+            && (i == 0 || is_punct(src, toks, &ch[i - 1], ","))
+            && ch.get(i + 1).is_none_or(|n| is_punct(src, toks, n, ","))
+    })
+}
+
+/// KVS-L016: every v2 `Frame` literal on the request paths must thread an
+/// incoming deadline. Literals without a `deadline:` field (v1 shapes)
+/// are L011's concern and skipped here. A value that names the deadline
+/// it threads, or derives a budget from the wall-clock portal
+/// (`wall_ns() + …`), passes. When the value is a parameter of the
+/// enclosing function the obligation moves to every call site in the
+/// call graph: passing a literal `0`/`u64::MAX` there mints a fresh
+/// no-deadline frame one function removed — exactly the bug L011 cannot
+/// see.
+fn deadline_propagation(ws: &Workspace, cg: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let mut caller_sites: BTreeSet<(String, usize)> = BTreeSet::new();
+    for f in &ws.files {
+        if !stamp_scope(&f.rel) {
+            continue;
+        }
+        let src = f.text.as_str();
+        let toks = &f.toks;
+        let trees = tree::build(src, toks);
+        let mut sites: Vec<(usize, String)> = Vec::new();
+        for_each_frame_literal(f, src, &trees, &mut |body, line| {
+            if let Some(vals) = field_value(src, toks, body, "deadline") {
+                sites.push((line, slot_text(src, toks, &vals)));
+            } else if has_shorthand_field(src, toks, body, "deadline") {
+                sites.push((line, "deadline".to_string()));
+            }
+        });
+        for (line, text) in sites {
+            if FRESH_DEADLINES.contains(&text.as_str()) {
+                out.push(Diagnostic {
+                    rule: "KVS-L016",
+                    path: f.rel.clone(),
+                    line,
+                    message: format!(
+                        "frame mints a fresh `{text}` deadline — thread the incoming \
+                         request's deadline instead"
+                    ),
+                });
+                continue;
+            }
+            let identish = !text.is_empty()
+                && text.chars().all(|c| c.is_alphanumeric() || c == '_')
+                && !text.starts_with(|c: char| c.is_ascii_digit());
+            if identish {
+                // A bare name. When it is a parameter of the enclosing
+                // function, the obligation moves to every call site.
+                if let Some(node) = cg.fn_enclosing(&f.rel, line) {
+                    if let Some(pos) = cg.fns[node].params.iter().position(|p| *p == text) {
+                        for (caller, edge) in cg.callers(node) {
+                            let Some(arg) = edge.args.get(pos) else {
+                                continue;
+                            };
+                            if !FRESH_DEADLINES.contains(&arg.as_str()) {
+                                continue;
+                            }
+                            let site = (cg.fns[caller].file.clone(), edge.line);
+                            if caller_sites.insert(site.clone()) {
+                                out.push(Diagnostic {
+                                    rule: "KVS-L016",
+                                    path: site.0,
+                                    line: site.1,
+                                    message: format!(
+                                        "call to `{}()` passes a fresh `{arg}` deadline \
+                                         into a v2 frame — thread the incoming deadline \
+                                         across this call",
+                                        cg.fns[node].name
+                                    ),
+                                });
+                            }
+                        }
+                        continue;
+                    }
+                }
+                if text.contains("deadline") {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: "KVS-L016",
+                    path: f.rel.clone(),
+                    line,
+                    message: format!(
+                        "frame deadline comes from `{text}`, which neither names a \
+                         threaded deadline nor is a parameter checked at its call sites"
+                    ),
+                });
+                continue;
+            }
+            let threaded = text.contains("deadline");
+            let portal_budget =
+                text.contains("wall_ns") && (text.contains('+') || text.contains("saturating_add"));
+            if !threaded && !portal_budget {
+                out.push(Diagnostic {
+                    rule: "KVS-L016",
+                    path: f.rel.clone(),
+                    line,
+                    message: format!(
+                        "frame deadline `{text}` is neither threaded from an incoming \
+                         deadline nor a wall-clock budget (`wall_ns() + …`) — fresh \
+                         deadlines break expiry propagation"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1179,5 +1617,140 @@ mod tests {
             ("crates/net/src/master.rs", full),
         ])
         .is_empty());
+    }
+
+    #[test]
+    fn nonblocking_zone_reaching_a_blocking_op_is_flagged_with_a_chain() {
+        let src = "// LINT-ZONE: nonblocking\n\
+                   fn tick(s: &S) { helper(s); }\n\
+                   fn helper(s: &S) { s.rx.recv(); }\n";
+        let out = run_on(&[("crates/net/src/master.rs", src)]);
+        let l014: Vec<_> = out.iter().filter(|d| d.rule == "KVS-L014").collect();
+        assert_eq!(l014.len(), 1, "{out:#?}");
+        assert_eq!(l014[0].line, 2);
+        assert!(
+            l014[0]
+                .message
+                .contains("crates/net/src/master.rs:2 → crates/net/src/master.rs:3"),
+            "{}",
+            l014[0].message
+        );
+        // The same chain without the anchor comment is nobody's business.
+        let unzoned = "fn tick(s: &S) { helper(s); }\nfn helper(s: &S) { s.rx.recv(); }\n";
+        assert!(run_on(&[("crates/net/src/master.rs", unzoned)])
+            .iter()
+            .all(|d| d.rule != "KVS-L014"));
+    }
+
+    #[test]
+    fn guard_held_across_a_transitively_blocking_call_is_flagged() {
+        let src = "fn push_out(s: &S) { s.stream.write_all(&s.buf); }\n\
+                   pub fn f(s: &S) { let g = s.conn.lock(); push_out(s); drop(g); }\n";
+        let out = run_on(&[("crates/net/src/master.rs", src)]);
+        let l007: Vec<_> = out.iter().filter(|d| d.rule == "KVS-L007").collect();
+        assert_eq!(l007.len(), 1, "{out:#?}");
+        assert_eq!(l007[0].line, 2);
+        assert!(
+            l007[0].message.contains("push_out")
+                && l007[0].message.contains("write_all")
+                && l007[0]
+                    .message
+                    .contains("crates/net/src/master.rs:2 → crates/net/src/master.rs:1"),
+            "{}",
+            l007[0].message
+        );
+    }
+
+    #[test]
+    fn rename_without_a_preceding_fsync_is_a_crash_ordering_violation() {
+        let bad = "impl Manifest { pub fn commit(&self, dir: &Path) -> io::Result<()> {\n\
+                   let tmp = dir.join(TMP);\n\
+                   fs::rename(&tmp, &dst)?;\n\
+                   f.sync_data()?;\n\
+                   File::open(dir)?.sync_all()?;\n\
+                   Ok(())\n\
+                   } }\n";
+        let out = run_on(&[("crates/store/src/manifest.rs", bad)]);
+        let l015: Vec<_> = out.iter().filter(|d| d.rule == "KVS-L015").collect();
+        assert_eq!(l015.len(), 1, "{out:#?}");
+        assert_eq!(l015[0].line, 3);
+        assert!(
+            l015[0].message.contains("without a preceding fsync")
+                && l015[0].message.contains("crates/store/src/manifest.rs:2"),
+            "{}",
+            l015[0].message
+        );
+        let good = "impl Manifest { pub fn commit(&self, dir: &Path) -> io::Result<()> {\n\
+                    let tmp = dir.join(TMP);\n\
+                    { let mut f = open(&tmp)?; f.write_all(&self.encode())?; f.sync_data()?; }\n\
+                    fs::rename(&tmp, &dst)?;\n\
+                    File::open(dir)?.sync_all()?;\n\
+                    Ok(())\n\
+                    } }\n";
+        assert!(run_on(&[("crates/store/src/manifest.rs", good)])
+            .iter()
+            .all(|d| d.rule != "KVS-L015"));
+    }
+
+    #[test]
+    fn gc_before_the_manifest_commit_is_a_crash_ordering_violation() {
+        let bad = "impl Durable { fn flush(&mut self) -> io::Result<()> {\n\
+                   let sst = write_sst(&self.dir, gen, &cells)?;\n\
+                   fs::remove_file(&old)?;\n\
+                   self.manifest.commit(&self.dir)?;\n\
+                   Ok(())\n\
+                   } }\n\
+                   fn write_sst(dir: &Path) -> io::Result<()> {\n\
+                   let f = open(dir)?; f.sync_data()?; Ok(())\n\
+                   }\n";
+        let out = run_on(&[("crates/store/src/durable.rs", bad)]);
+        let l015: Vec<_> = out.iter().filter(|d| d.rule == "KVS-L015").collect();
+        assert_eq!(l015.len(), 1, "{out:#?}");
+        assert_eq!(l015[0].line, 3);
+        assert!(l015[0].message.contains("GC"), "{}", l015[0].message);
+        // One level of call propagation: `write_sst` counts as the sync.
+        let good = bad.replace(
+            "let sst = write_sst(&self.dir, gen, &cells)?;\nfs::remove_file(&old)?;",
+            "let sst = write_sst(&self.dir, gen, &cells)?;",
+        );
+        assert!(run_on(&[("crates/store/src/durable.rs", &good)])
+            .iter()
+            .all(|d| d.rule != "KVS-L015"));
+    }
+
+    #[test]
+    fn fresh_deadline_in_a_frame_literal_is_flagged() {
+        let bad = "fn send() -> Frame { Frame { kind: FrameKind::Request,\n\
+                   stamps: [issued, sent, seq, 0], deadline: 0 } }\n";
+        let out = run_on(&[("crates/net/src/master.rs", bad)]);
+        let l016: Vec<_> = out.iter().filter(|d| d.rule == "KVS-L016").collect();
+        assert_eq!(l016.len(), 1, "{out:#?}");
+        assert!(l016[0].message.contains("fresh `0`"), "{}", l016[0].message);
+        let ok = "fn relay(incoming: &Frame) -> Frame { Frame { kind: FrameKind::Request,\n\
+                  stamps: [issued, sent, seq, 0], deadline: incoming.deadline } }\n";
+        assert!(run_on(&[("crates/net/src/master.rs", ok)])
+            .iter()
+            .all(|d| d.rule != "KVS-L016"));
+    }
+
+    #[test]
+    fn deadline_parameters_are_checked_at_their_call_sites() {
+        let src =
+            "fn send(node: u32, deadline: u64) -> Frame { Frame { kind: FrameKind::Request,\n\
+                   stamps: [issued, sent, seq, 0], deadline } }\n\
+                   fn go() { send(7, 0); }\n\
+                   fn ok(d: u64) { send(7, d); }\n";
+        let out = run_on(&[("crates/net/src/master.rs", src)]);
+        let l016: Vec<_> = out.iter().filter(|d| d.rule == "KVS-L016").collect();
+        assert_eq!(l016.len(), 1, "{out:#?}");
+        assert_eq!(
+            l016[0].line, 3,
+            "the violation is the call site, not the literal"
+        );
+        assert!(
+            l016[0].message.contains("send") && l016[0].message.contains("`0`"),
+            "{}",
+            l016[0].message
+        );
     }
 }

@@ -16,6 +16,15 @@
 //! | KVS-L011 | stage stamps: every stamps slot written exactly once |
 //! | KVS-L012 | frame kinds: FrameKind matches handle every declared kind |
 //! | KVS-L013 | store-format drift: WAL/SSTable constants vs documented tables |
+//! | KVS-L014 | non-blocking zones must not transitively reach blocking ops |
+//! | KVS-L015 | crash ordering: write → fsync → rename → dir-fsync, GC after commit |
+//! | KVS-L016 | deadline propagation: v2 frames thread the incoming deadline |
+//!
+//! KVS-L007 and KVS-L009 are interprocedural since PR 9: they resolve
+//! calls through the workspace call graph ([`crate::callgraph`]) instead
+//! of a per-file name index. L014–L016 are implemented in
+//! [`crate::passes`] on top of the call graph and the per-function CFG
+//! ([`crate::cfg`]).
 //!
 //! `KVS-L000` is reserved for the waiver machinery itself (a stale waiver
 //! that matches nothing is an error — waivers must not outlive the code
@@ -26,7 +35,7 @@ use crate::scan::SourceFile;
 /// One finding: a rule violated at a specific file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable rule ID (`KVS-L001` … `KVS-L013`, `KVS-L000` for waiver
+    /// Stable rule ID (`KVS-L001` … `KVS-L016`, `KVS-L000` for waiver
     /// and baseline machinery errors).
     pub rule: &'static str,
     /// Path relative to the workspace root, `/`-separated.
@@ -102,6 +111,21 @@ pub const RULES: &[(&str, &str)] = &[
         "KVS-L013",
         "store-format drift: wal.rs/sst_file.rs constants must match their module-doc tables \
          and docs/STORE.md",
+    ),
+    (
+        "KVS-L014",
+        "blocking reachability: a `LINT-ZONE: nonblocking` function must not transitively \
+         reach a blocking op (witnessed over the workspace call graph)",
+    ),
+    (
+        "KVS-L015",
+        "crash ordering: durable commit paths order write → fsync → rename → dir-fsync and \
+         never GC before the manifest commit (docs/STORE.md contract, checked on the CFG)",
+    ),
+    (
+        "KVS-L016",
+        "deadline propagation: every forwarded v2 frame threads the incoming deadline — no \
+         fresh 0/u64::MAX deadlines, checked across call sites",
     ),
 ];
 

@@ -25,7 +25,7 @@ use crate::rules::Diagnostic;
 /// One parsed `[[waiver]]` entry.
 #[derive(Debug, Clone)]
 pub struct Waiver {
-    /// Rule ID being waived (`KVS-L001` … `KVS-L012`).
+    /// Rule ID being waived (`KVS-L001` … `KVS-L016`).
     pub rule: String,
     /// Workspace-relative path the waiver applies to.
     pub path: String,

@@ -41,6 +41,9 @@ fn each_violating_fixture_fails_with_its_rule() {
         ("l011_stamp", "KVS-L011", "crates/net/src/server.rs"),
         ("l012_kind", "KVS-L012", "crates/net/src/master.rs"),
         ("l013_drift", "KVS-L013", "docs/STORE.md"),
+        ("l014_blocking", "KVS-L014", "crates/net/src/pool.rs"),
+        ("l015_crash", "KVS-L015", "crates/store/src/durable.rs"),
+        ("l016_deadline", "KVS-L016", "crates/net/src/write_path.rs"),
     ];
     for (name, rule, path) in cases {
         let outcome = kvs_lint::check_workspace(&fixture(name))
@@ -63,6 +66,116 @@ fn each_violating_fixture_fails_with_its_rule() {
         // Diagnostics carry real line numbers for `file:line` output.
         assert!(outcome.diagnostics.iter().all(|d| d.line >= 1));
     }
+}
+
+#[test]
+fn interprocedural_diagnostics_carry_full_witness_chains() {
+    // KVS-L014: the zone function, the two call sites and the blocking
+    // op, every hop as `file:line`.
+    let outcome = kvs_lint::check_workspace(&fixture("l014_blocking")).expect("scan l014");
+    let msg = &outcome.diagnostics[0].message;
+    assert!(
+        msg.contains(
+            "non-blocking zone `classify` can reach blocking `sleep`: \
+             crates/net/src/pool.rs:7 → crates/net/src/pool.rs:8 → \
+             crates/net/src/pool.rs:12 → crates/net/src/pool.rs:17"
+        ),
+        "unexpected L014 witness: {msg}"
+    );
+
+    // KVS-L015: the real flush shape (write → WAL rotate → commit → GC)
+    // with the GC step hoisted above the commit; the witness names both
+    // ends of the reordered pair.
+    let outcome = kvs_lint::check_workspace(&fixture("l015_crash")).expect("scan l015");
+    let msg = &outcome.diagnostics[0].message;
+    assert!(
+        msg.contains("GC (remove_file) can run before the manifest commit"),
+        "unexpected L015 message: {msg}"
+    );
+    assert!(
+        msg.contains("crates/store/src/durable.rs:22 → crates/store/src/durable.rs:23"),
+        "unexpected L015 witness: {msg}"
+    );
+
+    // KVS-L016: one direct fresh literal plus one caught at the call
+    // site of a deadline-parameter function.
+    let outcome = kvs_lint::check_workspace(&fixture("l016_deadline")).expect("scan l016");
+    assert_eq!(outcome.diagnostics.len(), 2);
+    assert!(outcome.diagnostics[0]
+        .message
+        .contains("mints a fresh `u64::MAX` deadline"));
+    assert!(outcome.diagnostics[1]
+        .message
+        .contains("call to `send_frame()` passes a fresh `0` deadline"));
+    assert_eq!(
+        outcome.diagnostics[1].line, 23,
+        "diag sits at the call site"
+    );
+}
+
+#[test]
+fn stale_waivers_are_anchored_at_their_entry_lines() {
+    // Each KVS-L000 must carry the `[[waiver]]` header line of the stale
+    // entry it reports — `file:line` is the fix-it jump target.
+    let outcome = kvs_lint::check_workspace(&fixture("l000_stale")).expect("scan l000_stale");
+    let lines: Vec<usize> = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "KVS-L000" && d.path == "lint.waivers.toml")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![4, 11],
+        "expected one KVS-L000 per [[waiver]] header, got: {:#?}",
+        outcome.diagnostics
+    );
+}
+
+#[test]
+fn baseline_entry_covered_by_a_waiver_is_not_stale() {
+    // The same finding is both waived and baselined: the waiver wins,
+    // nothing is demoted, and the baseline entry must not be reported
+    // stale — the site it froze is still in the tree.
+    let outcome =
+        kvs_lint::check_workspace(&fixture("baseline_waived")).expect("scan baseline_waived");
+    assert!(
+        outcome.is_clean(),
+        "waived+baselined overlap should be clean, got: {:#?}",
+        outcome.diagnostics
+    );
+    assert_eq!(outcome.waived.len(), 1);
+    assert_eq!(outcome.waived[0].0.rule, "KVS-L004");
+    assert!(
+        outcome.baselined.is_empty(),
+        "the waiver outranks the ratchet"
+    );
+}
+
+#[test]
+fn parallel_scan_matches_serial_byte_for_byte() {
+    // The worker pool must be invisible in the output: same diagnostics,
+    // same order, same rendering, on the real workspace.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let serial =
+        kvs_lint::check_workspace_with(&root, kvs_lint::ScanMode::Serial).expect("serial scan");
+    let parallel =
+        kvs_lint::check_workspace_with(&root, kvs_lint::ScanMode::Parallel).expect("parallel scan");
+    assert_eq!(serial.files_scanned, parallel.files_scanned);
+    let render = |o: &kvs_lint::Outcome| {
+        o.diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render(&serial), render(&parallel));
+    assert_eq!(serial.baselined, parallel.baselined);
+    assert_eq!(serial.waived, parallel.waived);
 }
 
 #[test]

@@ -48,6 +48,16 @@ fn tokenize_round_trips_every_workspace_file() {
         paths.len(),
         root.display()
     );
+    // Guard against the glob silently dropping analyzer sources: the
+    // interprocedural layer's own files must be inputs to this suite.
+    for must in ["callgraph.rs", "cfg.rs"] {
+        assert!(
+            paths
+                .iter()
+                .any(|p| p.ends_with(Path::new("crates/lint/src").join(must))),
+            "glob no longer covers crates/lint/src/{must}"
+        );
+    }
     for path in paths {
         let src = fs::read_to_string(&path).expect("read source file");
         let toks = tokenize(&src);

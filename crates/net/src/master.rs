@@ -484,6 +484,7 @@ impl NetMaster {
 
     /// Hard verdicts only: the node cannot currently answer (closed
     /// connection) or demonstrably did not (exhausted budget).
+    // LINT-ZONE: nonblocking — readiness-loop verdict, must never stall.
     pub(crate) fn hard_suspect(&self, node: u32) -> bool {
         self.health
             .get(node as usize)
@@ -497,6 +498,7 @@ impl NetMaster {
     /// nothing was asked of it; during the issue phase the collect loop
     /// is not running, so apparent silence is master-side lag. Both read
     /// as zero suspicion.
+    // LINT-ZONE: nonblocking — runs inside the collect loop's hot path.
     fn live_phi(&self, node: u32, inflight: &[usize], now: Instant) -> f64 {
         if inflight.get(node as usize).copied().unwrap_or(0) == 0 {
             return 0.0;

@@ -340,6 +340,7 @@ fn reply_refusal(job: &Job, kind: FrameKind) {
     best_effort("refusal write", refusal.write_to(&mut *job.conn.lock()));
 }
 
+// LINT-ZONE: nonblocking — readiness classification for the epoll rewrite.
 fn would_block(e: &io::Error) -> bool {
     matches!(
         e.kind(),

@@ -209,6 +209,7 @@ impl NetMaster {
         let mut replayed = 0u64;
         while let Some(hint) = queue.pop_front() {
             let id = self.wstate.fresh_id();
+            let op_deadline = self.leg_deadline();
             let payload = self.cfg.codec.encode_write(&WriteRequest {
                 request_id: id,
                 partition: hint.partition.clone(),
@@ -216,7 +217,7 @@ impl NetMaster {
                 cells: hint.cells.clone(),
             });
             if self
-                .send_write_frame(node, FrameKind::Write, id, payload.clone())
+                .send_write_frame(node, FrameKind::Write, id, payload.clone(), op_deadline)
                 .is_err()
             {
                 // The node is gone again: keep the rest (and this hint)
@@ -247,6 +248,7 @@ impl NetMaster {
         let issue = Instant::now();
         let ts = wall_ns();
         let id = self.wstate.fresh_id();
+        let op_deadline = self.leg_deadline();
         let payload = self.cfg.codec.encode_write(&WriteRequest {
             request_id: id,
             partition: route.key.clone(),
@@ -266,7 +268,7 @@ impl NetMaster {
                 self.queue_hint(node, route, ts, cells, wcfg, out);
                 continue;
             }
-            match self.send_write_frame(node, kind, id, payload.clone()) {
+            match self.send_write_frame(node, kind, id, payload.clone(), op_deadline) {
                 Ok(()) => outstanding.push(node),
                 Err(_) => {
                     self.mark_dead(node);
@@ -307,7 +309,7 @@ impl NetMaster {
                             out.busy_retries += 1;
                             std::thread::sleep(self.cfg.busy_backoff);
                             if self
-                                .send_write_frame(node, kind, id, payload.clone())
+                                .send_write_frame(node, kind, id, payload.clone(), op_deadline)
                                 .is_err()
                             {
                                 self.mark_dead(node);
@@ -334,7 +336,7 @@ impl NetMaster {
             if round == 0 && acks < need {
                 for &node in outstanding.clone().iter() {
                     if self
-                        .send_write_frame(node, kind, id, payload.clone())
+                        .send_write_frame(node, kind, id, payload.clone(), op_deadline)
                         .is_err()
                     {
                         self.mark_dead(node);
@@ -380,6 +382,7 @@ impl NetMaster {
         let pk = route.key.as_bytes().to_vec();
         let acked_at_issue = self.wstate.latest_acked.get(&pk).copied().unwrap_or(0);
         let id = self.wstate.fresh_id();
+        let op_deadline = self.leg_deadline();
         let payload = self.cfg.codec.encode_request(&QueryRequest {
             request_id: id,
             partition: route.key.clone(),
@@ -392,7 +395,8 @@ impl NetMaster {
             if self.hard_suspect(node) {
                 continue;
             }
-            match self.send_write_frame(node, FrameKind::Request, id, payload.clone()) {
+            match self.send_write_frame(node, FrameKind::Request, id, payload.clone(), op_deadline)
+            {
                 Ok(()) => outstanding.push(node),
                 Err(_) => self.mark_dead(node),
             }
@@ -425,7 +429,13 @@ impl NetMaster {
                         out.busy_retries += 1;
                         std::thread::sleep(self.cfg.busy_backoff);
                         if self
-                            .send_write_frame(node, FrameKind::Request, id, payload.clone())
+                            .send_write_frame(
+                                node,
+                                FrameKind::Request,
+                                id,
+                                payload.clone(),
+                                op_deadline,
+                            )
                             .is_err()
                         {
                             self.mark_dead(node);
@@ -483,6 +493,7 @@ impl NetMaster {
                 continue;
             }
             let id = self.wstate.fresh_id();
+            let op_deadline = self.leg_deadline();
             let payload = self.cfg.codec.encode_write(&WriteRequest {
                 request_id: id,
                 partition: route.key.clone(),
@@ -490,7 +501,7 @@ impl NetMaster {
                 cells: cells.clone(),
             });
             if self
-                .send_write_frame(node, FrameKind::Write, id, payload)
+                .send_write_frame(node, FrameKind::Write, id, payload, op_deadline)
                 .is_ok()
             {
                 out.read_repairs += 1;
@@ -523,14 +534,23 @@ impl NetMaster {
         out.hints_queued += 1;
     }
 
+    /// Wall-clock deadline for one leg: now plus two timeout rounds, so
+    /// every retransmit of the same operation shares the leg's budget.
+    fn leg_deadline(&self) -> u64 {
+        wall_ns().saturating_add(2 * self.cfg.timeout.as_nanos() as u64)
+    }
+
     /// Frames and writes one write-path message. The stamp convention is
     /// the request one: issue, send, send-sequence, and a slave-owned 0.
+    /// The deadline is the leg's: retransmits must pass the same value,
+    /// never mint a fresh one (KVS-L016).
     fn send_write_frame(
         &mut self,
         node: u32,
         kind: FrameKind,
         id: u64,
         payload: Bytes,
+        deadline: u64,
     ) -> io::Result<()> {
         let flags = match self.cfg.codec.kind {
             CodecKind::Compact => FLAG_COMPACT,
@@ -545,7 +565,7 @@ impl NetMaster {
             flags,
             id,
             stamps: [issued_wall, sent_wall, seq, 0],
-            deadline: 0,
+            deadline,
             payload,
         };
         self.write_frame(node, &frame)
