@@ -1,0 +1,9 @@
+//! Fixture: the sanctioned live→sim bridge (KVS-L018 pass) — sim time
+//! is threaded into the zone as a parameter, and the measured wall
+//! value only reaches a `from_*` constructor, never zone behavior.
+
+pub fn tick(model: &mut Model, sim_now: u64) {
+    advance(model, sim_now);
+    let wall = wall_ns();
+    let _elapsed = SimTime::from_nanos(wall);
+}

@@ -1,0 +1,13 @@
+//! Fixture: the deterministic model — time arrives as an explicit
+//! parameter, and `SimTime` offers the sanctioned `from_*` constructor
+//! for wrapping measured values on the live side.
+
+pub fn advance(model: &mut Model, now: u64) {
+    model.t = now;
+}
+
+impl SimTime {
+    pub fn from_nanos(n: u64) -> SimTime {
+        SimTime(n)
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: the `read_frame` shape — the wire-declared payload length
+//! flows into the allocation and the fill with no bound check.
+
+pub fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 17];
+    stream.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes([prefix[13], prefix[14], prefix[15], prefix[16]]) as usize;
+    let mut payload = Vec::with_capacity(len);
+    payload.resize(len, 0);
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a live-side tick smuggles host wall-clock time into the
+//! deterministic model instead of threading sim time through.
+
+pub fn tick(model: &mut Model) {
+    let host_now = wall_ns();
+    advance(model, host_now);
+}

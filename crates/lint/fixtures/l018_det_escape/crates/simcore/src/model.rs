@@ -1,0 +1,6 @@
+//! Fixture: the deterministic model — advancing takes the new time as
+//! an explicit parameter, so callers choose the clock.
+
+pub fn advance(model: &mut Model, now: u64) {
+    model.t = now;
+}

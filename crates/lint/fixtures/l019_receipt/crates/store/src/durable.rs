@@ -1,0 +1,13 @@
+//! Fixture: the `load_block` shape — the checksum early-return escapes
+//! the function before the ReadReceipt charges land.
+
+pub fn load_block(file: &mut File, meta: &BlockMeta, receipt: &mut ReadReceipt) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; meta.len];
+    file.read_exact(&mut buf)?;
+    if fnv64(&buf) != meta.checksum {
+        return Err(corrupt(meta.offset));
+    }
+    receipt.disk_blocks_read += 1;
+    receipt.disk_bytes_read += meta.len as u64;
+    Ok(buf)
+}

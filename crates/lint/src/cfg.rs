@@ -3,11 +3,12 @@
 //! One node per statement, lowered from the token trees: `if`/`else`
 //! chains and `match` arms fork and re-join, loops edge back to their
 //! header, and `return`/`break`/`continue`/`?` cut or redirect the
-//! fall-through. This is deliberately *not* a dataflow framework — the
-//! nodes carry flattened statement text and the queries are pure
-//! graph reachability ("can GC run before the commit?", "is every path
-//! to the rename fsynced?"), which is all the crash-ordering rule
-//! (KVS-L015) needs.
+//! fall-through. The nodes carry word-separated statement text; two
+//! kinds of consumer sit on top: pure graph-reachability queries ("can
+//! GC run before the commit?", "is every path to the rename fsynced?"
+//! — KVS-L015) and, since the dataflow layer ([`crate::dataflow`]), a
+//! gen/kill worklist engine that runs taint and must-reach analyses
+//! over these same blocks (KVS-L017 … KVS-L019).
 //!
 //! Precision boundary, documented so nobody re-learns it: a branch
 //! *inside* an expression statement (`let x = if c { a } else { b };`)
@@ -17,14 +18,17 @@
 //! functions); closure bodies are flattened into their statement.
 
 use crate::token::{Tok, TokKind};
-use crate::tree::{self, Delim, Group, Tree};
+use crate::tree::{Delim, Group, Tree};
 
 /// One statement node.
 #[derive(Debug)]
 pub struct Stmt {
     /// 1-based source line of the statement's first token.
     pub line: usize,
-    /// Flattened code text (no whitespace), e.g. `manifest.commit(&self.dir)?`.
+    /// Statement text with a single space separating adjacent word
+    /// tokens (so identifier boundaries survive flattening — the
+    /// dataflow layer parses variables out of this), e.g.
+    /// `let mut buf=Vec::with_capacity(header_len+len)`.
     pub text: String,
 }
 
@@ -118,7 +122,9 @@ impl<'a> Builder<'a> {
     }
 
     fn text_of(&self, trees: &[Tree]) -> String {
-        tree::text_of(self.src, self.toks, trees)
+        let mut s = String::new();
+        spaced_text(self.src, self.toks, trees, &mut s);
+        s
     }
 
     /// Lowers a block's children; returns the fall-through predecessor
@@ -261,7 +267,7 @@ impl<'a> Builder<'a> {
             while j < stmt.len() && !matches!(&stmt[j], Tree::Group(g) if g.delim == Delim::Brace) {
                 j += 1;
             }
-            let cond_text = format!("if{}", self.text_of(&stmt[cond_start..j.min(stmt.len())]));
+            let cond_text = format!("if {}", self.text_of(&stmt[cond_start..j.min(stmt.len())]));
             let line = self.line_of(&stmt[i]);
             let cond = self.node(line, cond_text, &cur_preds);
             if self.has_top_level_question(&stmt[cond_start..j.min(stmt.len())]) {
@@ -312,7 +318,7 @@ impl<'a> Builder<'a> {
         while j < stmt.len() && !matches!(&stmt[j], Tree::Group(g) if g.delim == Delim::Brace) {
             j += 1;
         }
-        let scrut_text = format!("match{}", self.text_of(&stmt[1..j.min(stmt.len())]));
+        let scrut_text = format!("match {}", self.text_of(&stmt[1..j.min(stmt.len())]));
         let line = self.line_of(&stmt[0]);
         let scrut = self.node(line, scrut_text, &preds);
         let Some(Tree::Group(body)) = stmt.get(j) else {
@@ -404,6 +410,36 @@ impl<'a> Builder<'a> {
             outs.push(header);
         }
         (outs, j + 1)
+    }
+}
+
+/// Renders a tree slice with a single space between adjacent word
+/// tokens (`let mut x` rather than `letmutx`), leaving punctuation
+/// glued (`wall_ns(`, `receipt.disk_blocks_read+=1`). Rule patterns
+/// that anchor on punctuation (`rename(`, `.commit(`) are unaffected;
+/// the dataflow layer needs the word boundaries to extract variables.
+fn spaced_text(src: &str, toks: &[Tok], trees: &[Tree], s: &mut String) {
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let push = |s: &mut String, txt: &str| {
+        if s.chars().next_back().is_some_and(is_word) && txt.chars().next().is_some_and(is_word) {
+            s.push(' ');
+        }
+        s.push_str(txt);
+    };
+    for t in trees {
+        match t {
+            Tree::Leaf(ix) => push(s, toks[*ix].text(src)),
+            Tree::Group(g) => {
+                let (open, close) = match g.delim {
+                    Delim::Paren => ("(", ")"),
+                    Delim::Bracket => ("[", "]"),
+                    Delim::Brace => ("{", "}"),
+                };
+                push(s, open);
+                spaced_text(src, toks, &g.children, s);
+                push(s, close);
+            }
+        }
     }
 }
 

@@ -19,7 +19,11 @@
 //! ([`callgraph`]) and per-function control-flow graphs ([`cfg`]) that
 //! power blocking-reachability, crash-ordering and deadline-propagation
 //! passes — and parallelizes the per-file scan on a std-only worker
-//! pool ([`ScanMode`]).
+//! pool ([`ScanMode`]). On top of those sit the dataflow engine
+//! ([`dataflow`]): a gen/kill worklist fixed point over the CFG blocks
+//! with bottom-up interprocedural taint summaries over the call graph's
+//! SCC condensation, powering the wire-input-taint, determinism-escape
+//! and receipt-accounting rules (KVS-L017 … KVS-L019).
 //!
 //! Deliberately dependency-free (std only): this crate is the tool that
 //! guards the shims, so it must build even when every shim is broken.
@@ -42,6 +46,7 @@
 pub mod baseline;
 pub mod callgraph;
 pub mod cfg;
+pub mod dataflow;
 pub mod json;
 pub mod passes;
 pub mod rules;
@@ -76,6 +81,9 @@ pub struct Outcome {
     pub waiver_hits: Vec<(waiver::Waiver, usize)>,
     /// Number of source files scanned.
     pub files_scanned: usize,
+    /// Wall-clock milliseconds spent in the dataflow-engine passes
+    /// (KVS-L017 … KVS-L019); feeds the bench lane's `dataflow_ms`.
+    pub dataflow_ms: f64,
 }
 
 impl Outcome {
@@ -131,9 +139,21 @@ fn rel_of(root: &Path, path: &Path) -> String {
 pub enum ScanMode {
     /// Scan one file at a time on the calling thread.
     Serial,
-    /// Scan on a fixed pool of `std::thread::scope` workers (capped at
-    /// 8), stride-partitioned over the sorted path list.
+    /// Scan on a fixed pool of `std::thread::scope` workers (see
+    /// [`scan_workers`]), stride-partitioned over the sorted path list.
     Parallel,
+}
+
+/// Worker count for [`ScanMode::Parallel`]: the machine's available
+/// parallelism, clamped to `[1, 32]`. The upper clamp keeps the pool
+/// from oversubscribing file I/O on very wide hosts; the lower one
+/// covers `available_parallelism` failing (it errors on some
+/// containers).
+pub fn scan_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, 32)
 }
 
 /// Reads and scans `paths` under `mode`. Worker `k` of `n` handles
@@ -143,10 +163,7 @@ pub enum ScanMode {
 fn scan_files(root: &Path, paths: &[PathBuf], mode: ScanMode) -> io::Result<Vec<SourceFile>> {
     let workers = match mode {
         ScanMode::Serial => 1,
-        ScanMode::Parallel => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(8),
+        ScanMode::Parallel => scan_workers(),
     };
     if workers <= 1 || paths.len() <= 1 {
         let mut files = Vec::with_capacity(paths.len());
@@ -197,8 +214,11 @@ pub fn check_workspace(root: &Path) -> io::Result<Outcome> {
     check_workspace_with(root, ScanMode::Parallel)
 }
 
-/// [`check_workspace`] with an explicit [`ScanMode`].
-pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> {
+/// Scans the workspace rooted at `root` into a [`rules::Workspace`]
+/// under `mode`, without running any rules. Exposed so the dataflow
+/// engine's property suite can build summaries from serially- and
+/// parallelly-scanned workspaces and assert they are identical.
+pub fn scan_workspace(root: &Path, mode: ScanMode) -> io::Result<rules::Workspace> {
     let mut paths = Vec::new();
     for top in ["crates", "shims"] {
         let dir = root.join(top);
@@ -207,7 +227,6 @@ pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> 
         }
     }
     let files = scan_files(root, &paths, mode)?;
-    let files_scanned = files.len();
 
     let load_md = |name: &str| -> io::Result<Option<(String, Vec<String>)>> {
         let path = root.join("docs").join(name);
@@ -223,12 +242,18 @@ pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> 
     let net_md = load_md("NET.md")?;
     let store_md = load_md("STORE.md")?;
 
-    let ws = rules::Workspace {
+    Ok(rules::Workspace {
         files,
         net_md,
         store_md,
-    };
-    let raw = rules::run_all(&ws);
+    })
+}
+
+/// [`check_workspace`] with an explicit [`ScanMode`].
+pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> {
+    let ws = scan_workspace(root, mode)?;
+    let files_scanned = ws.files.len();
+    let (raw, dataflow_ms) = rules::run_all_timed(&ws);
 
     let config_error = |line: usize, message: String, raw: Vec<Diagnostic>| -> Outcome {
         let mut diagnostics = raw;
@@ -245,6 +270,7 @@ pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> 
             baselined: Vec::new(),
             waiver_hits: Vec::new(),
             files_scanned,
+            dataflow_ms,
         }
     };
 
@@ -283,6 +309,7 @@ pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> 
                     baselined: Vec::new(),
                     waiver_hits: Vec::new(),
                     files_scanned,
+                    dataflow_ms,
                 });
             }
         }
@@ -321,5 +348,6 @@ pub fn check_workspace_with(root: &Path, mode: ScanMode) -> io::Result<Outcome> 
         baselined,
         waiver_hits: waivers.into_iter().zip(applied.hits).collect(),
         files_scanned,
+        dataflow_ms,
     })
 }

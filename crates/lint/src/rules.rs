@@ -19,12 +19,17 @@
 //! | KVS-L014 | non-blocking zones must not transitively reach blocking ops |
 //! | KVS-L015 | crash ordering: write → fsync → rename → dir-fsync, GC after commit |
 //! | KVS-L016 | deadline propagation: v2 frames thread the incoming deadline |
+//! | KVS-L017 | wire-input taint: untrusted lengths bounded before allocation/indexing |
+//! | KVS-L018 | determinism escape: no wall-clock/RNG value flow into L001 zones |
+//! | KVS-L019 | receipt accounting: every disk block read charges the ReadReceipt |
 //!
 //! KVS-L007 and KVS-L009 are interprocedural since PR 9: they resolve
 //! calls through the workspace call graph ([`crate::callgraph`]) instead
 //! of a per-file name index. L014–L016 are implemented in
 //! [`crate::passes`] on top of the call graph and the per-function CFG
-//! ([`crate::cfg`]).
+//! ([`crate::cfg`]). L017–L019 run on the gen/kill dataflow engine
+//! ([`crate::dataflow`]): interprocedural taint with bottom-up function
+//! summaries and must-reach obligation analysis.
 //!
 //! `KVS-L000` is reserved for the waiver machinery itself (a stale waiver
 //! that matches nothing is an error — waivers must not outlive the code
@@ -35,7 +40,7 @@ use crate::scan::SourceFile;
 /// One finding: a rule violated at a specific file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable rule ID (`KVS-L001` … `KVS-L016`, `KVS-L000` for waiver
+    /// Stable rule ID (`KVS-L001` … `KVS-L019`, `KVS-L000` for waiver
     /// and baseline machinery errors).
     pub rule: &'static str,
     /// Path relative to the workspace root, `/`-separated.
@@ -127,6 +132,21 @@ pub const RULES: &[(&str, &str)] = &[
         "deadline propagation: every forwarded v2 frame threads the incoming deadline — no \
          fresh 0/u64::MAX deadlines, checked across call sites",
     ),
+    (
+        "KVS-L017",
+        "wire-input taint: values decoded from socket bytes must pass a validated bound \
+         (MAX_PAYLOAD-style) before reaching an allocation, slice index or loop bound",
+    ),
+    (
+        "KVS-L018",
+        "determinism escape: wall-clock/RNG-derived values must not flow through returns or \
+         arguments into the L001 determinism zones",
+    ),
+    (
+        "KVS-L019",
+        "receipt accounting: on durable read paths every CFG path performing a disk block \
+         read charges the ReadReceipt before returning",
+    ),
 ];
 
 /// Everything the rules look at: scanned Rust sources plus the protocol
@@ -152,6 +172,13 @@ impl Workspace {
 /// Runs every rule over the workspace and returns the findings, sorted by
 /// path and line.
 pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    run_all_timed(ws).0
+}
+
+/// [`run_all`] plus the wall-clock milliseconds the dataflow-engine
+/// passes (KVS-L017 … KVS-L019, including summary construction) took —
+/// the bench lane's `dataflow_ms` phase timing.
+pub fn run_all_timed(ws: &Workspace) -> (Vec<Diagnostic>, f64) {
     let mut out = Vec::new();
     determinism_guard(ws, &mut out);
     protocol_drift(ws, &mut out);
@@ -162,9 +189,9 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     std_mutex_forbidden(ws, &mut out);
     lock_across_blocking(ws, &mut out);
     comment_contracts(ws, &mut out);
-    crate::passes::run(ws, &mut out);
+    let dataflow_ms = crate::passes::run(ws, &mut out);
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    out
+    (out, dataflow_ms)
 }
 
 /// The wall-clock portal: the only file allowed to call
@@ -187,7 +214,7 @@ const DETERMINISTIC_ZONES: &[&str] = &[
     "crates/cluster/src/replication.rs",
 ];
 
-fn in_deterministic_zone(rel: &str) -> bool {
+pub(crate) fn in_deterministic_zone(rel: &str) -> bool {
     DETERMINISTIC_ZONES
         .iter()
         .any(|z| rel.starts_with(z) || rel == z.trim_end_matches('/'))

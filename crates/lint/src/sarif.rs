@@ -6,6 +6,12 @@
 //! (visible debt, not a gate). Paths are emitted as workspace-relative
 //! `artifactLocation.uri`s, which is what the GitHub SARIF ingester
 //! expects when the checkout is the workspace root.
+//!
+//! Findings whose message carries a `file:line → file:line` witness
+//! chain (the interprocedural rules and the dataflow engine's taint
+//! flows) additionally emit the chain as a SARIF `codeFlows` thread
+//! flow, so code-scanning UIs can step through the propagation
+//! source-to-sink.
 
 use crate::json::{self, Value};
 use crate::rules::{Diagnostic, RULES};
@@ -58,28 +64,62 @@ pub fn render(outcome: &Outcome) -> String {
     .to_pretty()
 }
 
+fn location(path: &str, line: usize) -> Value {
+    json::obj(vec![(
+        "physicalLocation",
+        json::obj(vec![
+            ("artifactLocation", json::obj(vec![("uri", json::s(path))])),
+            (
+                "region",
+                json::obj(vec![("startLine", Value::Num(line.max(1) as f64))]),
+            ),
+        ]),
+    )])
+}
+
+/// Extracts the `file:line → file:line → …` witness chain embedded in a
+/// diagnostic message, if any. Chains are rendered by the CFG witness
+/// helper and the dataflow engine; every step must parse as
+/// `path:line` for the chain to count (a lone `→` in prose does not).
+fn witness_chain(message: &str) -> Option<Vec<(String, usize)>> {
+    let candidate = message.rsplit(": ").next().unwrap_or(message);
+    let steps: Vec<&str> = candidate.split(" → ").map(str::trim).collect();
+    if steps.len() < 2 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(steps.len());
+    for step in steps {
+        let (path, line) = step.rsplit_once(':')?;
+        let line: usize = line.parse().ok()?;
+        if path.is_empty() || path.contains(' ') {
+            return None;
+        }
+        out.push((path.to_string(), line));
+    }
+    Some(out)
+}
+
 fn result(d: &Diagnostic, level: &str) -> Value {
-    json::obj(vec![
+    let mut fields = vec![
         ("ruleId", json::s(d.rule)),
         ("level", json::s(level)),
         ("message", json::obj(vec![("text", json::s(&d.message))])),
-        (
-            "locations",
+        ("locations", Value::Arr(vec![location(&d.path, d.line)])),
+    ];
+    if let Some(chain) = witness_chain(&d.message) {
+        let steps: Vec<Value> = chain
+            .iter()
+            .map(|(path, line)| json::obj(vec![("location", location(path, *line))]))
+            .collect();
+        fields.push((
+            "codeFlows",
             Value::Arr(vec![json::obj(vec![(
-                "physicalLocation",
-                json::obj(vec![
-                    (
-                        "artifactLocation",
-                        json::obj(vec![("uri", json::s(&d.path))]),
-                    ),
-                    (
-                        "region",
-                        json::obj(vec![("startLine", Value::Num(d.line.max(1) as f64))]),
-                    ),
-                ]),
+                "threadFlows",
+                Value::Arr(vec![json::obj(vec![("locations", Value::Arr(steps))])]),
             )])]),
-        ),
-    ])
+        ));
+    }
+    json::obj(fields)
 }
 
 #[cfg(test)]
@@ -104,6 +144,7 @@ mod tests {
             waived: Vec::new(),
             waiver_hits: Vec::new(),
             files_scanned: 2,
+            dataflow_ms: 0.0,
         }
     }
 
@@ -162,6 +203,59 @@ mod tests {
                 .and_then(Value::as_num),
             Some(12.0)
         );
+    }
+
+    #[test]
+    fn witness_chain_becomes_a_code_flow() {
+        let mut oc = outcome();
+        oc.diagnostics.push(Diagnostic {
+            rule: "KVS-L017",
+            path: "crates/net/src/frame.rs".to_string(),
+            line: 296,
+            message: "untrusted wire length: u32::from_be_bytes (line 295) reaches \
+                      allocation `with_capacity(…)` without a validated bound — compare \
+                      against a MAX_PAYLOAD-style limit first; flow: \
+                      crates/net/src/frame.rs:295 → crates/net/src/frame.rs:296"
+                .to_string(),
+        });
+        let doc = parse(&render(&oc)).unwrap();
+        let results = doc.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .unwrap();
+        let flowed = results
+            .iter()
+            .find(|r| r.get("ruleId").and_then(Value::as_str) == Some("KVS-L017"))
+            .expect("L017 result present");
+        let steps = flowed
+            .get("codeFlows")
+            .and_then(Value::as_arr)
+            .expect("codeFlows")[0]
+            .get("threadFlows")
+            .and_then(Value::as_arr)
+            .expect("threadFlows")[0]
+            .get("locations")
+            .and_then(Value::as_arr)
+            .expect("thread flow locations");
+        assert_eq!(steps.len(), 2);
+        let lines: Vec<f64> = steps
+            .iter()
+            .map(|s| {
+                s.get("location")
+                    .and_then(|l| l.get("physicalLocation"))
+                    .and_then(|p| p.get("region"))
+                    .and_then(|r| r.get("startLine"))
+                    .and_then(Value::as_num)
+                    .expect("startLine")
+            })
+            .collect();
+        assert_eq!(lines, vec![295.0, 296.0]);
+        // Plain-prose findings must not grow a codeFlows section.
+        let plain = results
+            .iter()
+            .find(|r| r.get("ruleId").and_then(Value::as_str) == Some("KVS-L010"))
+            .unwrap();
+        assert!(plain.get("codeFlows").is_none());
     }
 
     #[test]

@@ -44,6 +44,13 @@ fn each_violating_fixture_fails_with_its_rule() {
         ("l014_blocking", "KVS-L014", "crates/net/src/pool.rs"),
         ("l015_crash", "KVS-L015", "crates/store/src/durable.rs"),
         ("l016_deadline", "KVS-L016", "crates/net/src/write_path.rs"),
+        ("l017_taint", "KVS-L017", "crates/net/src/server.rs"),
+        (
+            "l018_det_escape",
+            "KVS-L018",
+            "crates/net/src/clock_bridge.rs",
+        ),
+        ("l019_receipt", "KVS-L019", "crates/store/src/durable.rs"),
     ];
     for (name, rule, path) in cases {
         let outcome = kvs_lint::check_workspace(&fixture(name))
@@ -110,6 +117,73 @@ fn interprocedural_diagnostics_carry_full_witness_chains() {
     assert_eq!(
         outcome.diagnostics[1].line, 23,
         "diag sits at the call site"
+    );
+}
+
+#[test]
+fn dataflow_diagnostics_carry_source_to_sink_witness_chains() {
+    // KVS-L017: the `read_frame` shape — decode at line 7, allocation at
+    // line 8, fill at line 9; each sink's chain starts at the decode.
+    let outcome = kvs_lint::check_workspace(&fixture("l017_taint")).expect("scan l017");
+    assert_eq!(outcome.diagnostics.len(), 2, "{:#?}", outcome.diagnostics);
+    let alloc = &outcome.diagnostics[0];
+    assert_eq!(alloc.line, 8);
+    assert!(
+        alloc.message.contains(
+            "reaches allocation `with_capacity(…)` without a validated bound \
+             — compare against a MAX_PAYLOAD-style limit first; flow: \
+             crates/net/src/server.rs:7 → crates/net/src/server.rs:8"
+        ),
+        "unexpected L017 witness: {}",
+        alloc.message
+    );
+    assert!(
+        outcome.diagnostics[1]
+            .message
+            .contains("crates/net/src/server.rs:7 →"),
+        "the resize sink chains back to the same decode: {}",
+        outcome.diagnostics[1].message
+    );
+
+    // KVS-L018: the tracked wall-clock value, named, with the
+    // source-to-call-site flow.
+    let outcome = kvs_lint::check_workspace(&fixture("l018_det_escape")).expect("scan l018");
+    assert_eq!(outcome.diagnostics.len(), 1, "{:#?}", outcome.diagnostics);
+    let msg = &outcome.diagnostics[0].message;
+    assert!(
+        msg.contains(
+            "`host_now` carries `wall_ns` (line 5) into deterministic-zone call \
+             `advance()`"
+        ) && msg
+            .contains("flow: crates/net/src/clock_bridge.rs:5 → crates/net/src/clock_bridge.rs:6"),
+        "unexpected L018 witness: {msg}"
+    );
+
+    // KVS-L019: the escaping path threads the read, the checksum branch
+    // and the early return — the charge at line 10 is never reached.
+    let outcome = kvs_lint::check_workspace(&fixture("l019_receipt")).expect("scan l019");
+    assert_eq!(outcome.diagnostics.len(), 1, "{:#?}", outcome.diagnostics);
+    let d = &outcome.diagnostics[0];
+    assert_eq!(d.line, 6, "anchored at the read");
+    assert!(
+        d.message.contains(
+            "escaping path: crates/store/src/durable.rs:6 → \
+             crates/store/src/durable.rs:7 → crates/store/src/durable.rs:8"
+        ),
+        "unexpected L019 witness: {}",
+        d.message
+    );
+}
+
+#[test]
+fn dataflow_witness_chains_render_as_sarif_code_flows() {
+    // End-to-end: a fixture L017 finding's witness chain must surface as
+    // a SARIF codeFlows thread flow with one step per hop.
+    let outcome = kvs_lint::check_workspace(&fixture("l017_taint")).expect("scan l017");
+    let doc = kvs_lint::sarif::render(&outcome);
+    assert!(
+        doc.contains("\"codeFlows\"") && doc.contains("\"threadFlows\""),
+        "expected codeFlows in SARIF output"
     );
 }
 

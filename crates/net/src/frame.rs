@@ -248,13 +248,19 @@ impl Frame {
         for (i, s) in stamps.iter_mut().enumerate() {
             *s = u64::from_be_bytes(buf[17 + i * 8..25 + i * 8].try_into().expect("8 bytes"));
         }
-        let (deadline, crc_off) = if buf[2] == VERSION_V1 {
-            (0, HEADER_LEN_V1 - 4)
+        // Kept as two separate lets: `crc_off` is an offset derived only
+        // from header constants, never from wire bytes, and defining it
+        // in the same destructure as the wire-decoded deadline would
+        // conflate the two (KVS-L017 tracks taint per definition).
+        let crc_off = if buf[2] == VERSION_V1 {
+            HEADER_LEN_V1 - 4
         } else {
-            (
-                u64::from_be_bytes(buf[49..57].try_into().expect("8 bytes")),
-                HEADER_LEN - 4,
-            )
+            HEADER_LEN - 4
+        };
+        let deadline = if buf[2] == VERSION_V1 {
+            0
+        } else {
+            u64::from_be_bytes(buf[49..57].try_into().expect("8 bytes"))
         };
         let declared = u32::from_be_bytes(buf[crc_off..crc_off + 4].try_into().expect("4 bytes"));
         let mut crc = Crc32::new();
@@ -292,7 +298,19 @@ impl Frame {
             return Err(io::Error::new(io::ErrorKind::InvalidData, e));
         }
         let header_len = header_len_for(prefix[2]).expect("version validated above");
-        let len = u32::from_be_bytes(prefix[13..17].try_into().expect("4 bytes")) as usize;
+        let declared_len = u32::from_be_bytes(prefix[13..17].try_into().expect("4 bytes"));
+        // Validate the wire-declared length BEFORE sizing any buffer
+        // from it: `decode` on the prefix above checks it too, but this
+        // path must bound the allocation on its own — a hostile peer
+        // sends the length, and an unchecked `with_capacity` from it is
+        // a remote OOM.
+        if declared_len > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                FrameError::TooLarge(declared_len),
+            ));
+        }
+        let len = declared_len as usize;
         let mut buf = Vec::with_capacity(header_len + len);
         buf.extend_from_slice(&prefix);
         buf.resize(header_len + len, 0);
@@ -409,6 +427,31 @@ mod tests {
         let second = Frame::read_from(&mut cursor).unwrap();
         assert_eq!(second, sample());
         assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // A hostile peer declares a payload beyond MAX_PAYLOAD. The
+        // streaming path must reject the frame from the 17-byte prefix
+        // alone — never sizing a buffer from the declared length.
+        let mut wire = sample().encode();
+        wire[13..17].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = &wire[..];
+        let err = Frame::read_from(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("exceeds the cap"),
+            "want TooLarge, got: {err}"
+        );
+        // One past the cap is rejected too; exactly at the cap the
+        // declared length passes the bound (and then fails on missing
+        // payload bytes, not on the length itself).
+        wire[13..17].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        let err = Frame::read_from(&mut &wire[..]).unwrap_err();
+        assert!(err.to_string().contains("exceeds the cap"), "got: {err}");
+        wire[13..17].copy_from_slice(&MAX_PAYLOAD.to_be_bytes());
+        let err = Frame::read_from(&mut &wire[..]).unwrap_err();
+        assert!(!err.to_string().contains("exceeds the cap"), "got: {err}");
     }
 
     #[test]

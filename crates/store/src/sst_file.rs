@@ -341,6 +341,12 @@ impl SstFile {
         }
         let mut raw = vec![0u8; meta.len as usize];
         self.file.read_exact_at(&mut raw, meta.offset)?;
+        // Charge before the checksum verdict: the read moved the bytes
+        // whether or not they verify, and a corrupt block that escaped
+        // the accounting would skew every cost model built on receipts
+        // (KVS-L019 checks this must-reach property on all paths).
+        receipt.disk_blocks_read += 1;
+        receipt.disk_bytes_read += meta.len as u64;
         if fnv64(&raw) != meta.crc {
             return Err(bad_data(format!(
                 "{}: block at offset {} failed its checksum",
@@ -348,8 +354,6 @@ impl SstFile {
                 meta.offset
             )));
         }
-        receipt.disk_blocks_read += 1;
-        receipt.disk_bytes_read += meta.len as u64;
         let block = Bytes::from(raw);
         cache.put(key, block.clone());
         Ok(block)
